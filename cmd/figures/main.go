@@ -1,0 +1,58 @@
+// figures regenerates the paper's evaluation: every figure (Fig. 1-11,
+// Eq. 1, dataset summary) plus the paper-vs-measured experiments table.
+//
+//	figures -scale 0.25                 # all figures as text
+//	figures -figure fig9 -csv           # one figure's data as CSV
+//	figures -experiments                # only the markdown record
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"satcell"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.25, "campaign scale (1.0 = the paper's ~3,800 km)")
+		seed    = flag.Int64("seed", 42, "world seed")
+		only    = flag.String("figure", "", "render a single figure (e.g. fig3a)")
+		asCSV   = flag.Bool("csv", false, "emit the figure's data as CSV instead of text")
+		expOnly = flag.Bool("experiments", false, "print only the paper-vs-measured table")
+		mpWin   = flag.Int("mp-window", 300, "MPTCP replay window (seconds)")
+		mpN     = flag.Int("mp-windows", 3, "MPTCP replay window count")
+	)
+	flag.Parse()
+
+	world := satcell.NewWorld(*seed)
+	fmt.Fprintf(os.Stderr, "generating dataset (scale %.2f)...\n", *scale)
+	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale})
+	opts := satcell.FigureOptions{MultipathWindowSeconds: *mpWin, MultipathWindows: *mpN}
+
+	if *only != "" {
+		f := world.Figure(ds, *only, opts)
+		if f == nil {
+			log.Fatalf("figures: unknown figure %q", *only)
+		}
+		if *asCSV {
+			fmt.Print(f.CSV())
+		} else {
+			fmt.Print(f.Render())
+		}
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "running analyses (fig10/fig11 replay packet-level transfers)...")
+	figs := world.Figures(ds, opts)
+	if !*expOnly {
+		for _, id := range satcell.FigureIDs(figs) {
+			fmt.Print(figs[id].Render())
+			fmt.Println()
+		}
+	}
+	fmt.Println("== Paper vs measured ==")
+	fmt.Print(satcell.RenderExperiments(satcell.Experiments(figs)))
+}

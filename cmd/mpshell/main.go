@@ -1,0 +1,83 @@
+// mpshell is the trace-driven network shaper of the toolkit: a
+// userspace stand-in for the paper's MpShell (a Mahimahi variant). It
+// relays UDP or TCP traffic toward a target while pacing, delaying and
+// (for UDP) dropping packets according to a replayed channel trace or
+// constant conditions, so the real measurement tools experience
+// emulated Starlink/cellular networks.
+//
+//	mpshell -listen 127.0.0.1:6000 -target 127.0.0.1:5201 -trace mob.csv
+//	mpshell -proto tcp -listen :6000 -target :5201 -rate 50 -delay 30ms -loss 0.005
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"satcell/internal/netem"
+	"satcell/internal/trace"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:6000", "client-facing address")
+		target  = flag.String("target", "", "server address to forward to (required)")
+		proto   = flag.String("proto", "udp", "relay protocol: udp or tcp")
+		tracePt = flag.String("trace", "", "channel trace CSV to replay (satcell format)")
+		rate    = flag.Float64("rate", 100, "constant capacity in Mbps (when no trace)")
+		delay   = flag.Duration("delay", 20*time.Millisecond, "constant one-way delay (when no trace)")
+		loss    = flag.Float64("loss", 0, "constant datagram loss probability (when no trace)")
+		seed    = flag.Int64("seed", 1, "loss RNG seed")
+	)
+	flag.Parse()
+	if *target == "" {
+		log.Fatal("mpshell: -target is required")
+	}
+
+	var up, down netem.Shape
+	if *tracePt != "" {
+		f, err := os.Open(*tracePt)
+		if err != nil {
+			log.Fatalf("mpshell: %v", err)
+		}
+		tr, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("mpshell: read trace: %v", err)
+		}
+		down = netem.FromTrace(tr, false)
+		up = netem.FromTrace(tr, true)
+		fmt.Printf("mpshell: replaying %s trace (%d samples, %s)\n",
+			tr.Network, len(tr.Samples), tr.Duration())
+	} else {
+		down = netem.ConstantShape(*rate, *delay, *loss)
+		up = netem.ConstantShape(*rate, *delay, *loss)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	switch *proto {
+	case "udp":
+		relay, err := netem.NewUDPRelay(*listen, *target, up, down, *seed)
+		if err != nil {
+			log.Fatalf("mpshell: %v", err)
+		}
+		defer relay.Close()
+		fmt.Printf("mpshell: udp %s -> %s\n", relay.Addr(), *target)
+	case "tcp":
+		relay, err := netem.NewTCPRelay(*listen, *target, up, down)
+		if err != nil {
+			log.Fatalf("mpshell: %v", err)
+		}
+		defer relay.Close()
+		fmt.Printf("mpshell: tcp %s -> %s (loss not emulated for streams)\n", relay.Addr(), *target)
+	default:
+		log.Fatalf("mpshell: unknown proto %q", *proto)
+	}
+	<-ctx.Done()
+}

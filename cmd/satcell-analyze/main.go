@@ -1,0 +1,157 @@
+// satcell-analyze computes the paper's summary analyses from a
+// tests.csv file (the drivegen export format, which a real field
+// campaign would also produce): per-network throughput summaries,
+// per-area breakdowns and performance-level coverage shares.
+//
+//	drivegen -scale 0.1 -out data
+//	satcell-analyze -tests data/tests.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+
+	"satcell/internal/report"
+	"satcell/internal/stats"
+)
+
+// row is one parsed tests.csv record.
+type row struct {
+	network, kind, area string
+	throughput          float64
+	loss, retrans       float64
+}
+
+func main() {
+	var (
+		path = flag.String("tests", "data/tests.csv", "tests.csv produced by drivegen (or a field campaign)")
+		kind = flag.String("kind", "udp-down", "test kind to analyse")
+	)
+	flag.Parse()
+
+	rows, err := load(*path)
+	if err != nil {
+		log.Fatalf("satcell-analyze: %v", err)
+	}
+	fmt.Printf("loaded %d tests from %s\n\n", len(rows), *path)
+
+	networks := []string{"RM", "MOB", "ATT", "TM", "VZ"}
+
+	// Per-network summary for the selected kind.
+	fmt.Printf("%-5s %6s %8s %8s %8s %8s   (kind=%s)\n",
+		"net", "n", "mean", "median", "p75", "loss%", *kind)
+	for _, n := range networks {
+		var xs, losses []float64
+		for _, r := range rows {
+			if r.network == n && r.kind == *kind {
+				xs = append(xs, r.throughput)
+				losses = append(losses, r.loss)
+			}
+		}
+		s := stats.Summarize(xs)
+		fmt.Printf("%-5s %6d %8.1f %8.1f %8.1f %8.2f\n",
+			n, s.N, s.Mean, s.Median, s.P75, stats.Mean(losses)*100)
+	}
+
+	// Per-area means (Fig. 8 style).
+	fmt.Println()
+	for _, area := range []string{"urban", "suburban", "rural"} {
+		bars := make([]report.Bar, 0, len(networks))
+		for _, n := range networks {
+			var xs []float64
+			for _, r := range rows {
+				if r.network == n && r.kind == *kind && r.area == area {
+					xs = append(xs, r.throughput)
+				}
+			}
+			bars = append(bars, report.Bar{Label: n, Value: stats.Mean(xs)})
+		}
+		fmt.Print(report.BarChart("mean throughput, "+area+" (Mbps)", "", 40, bars))
+	}
+
+	// Coverage shares (Fig. 9 style, per-test granularity).
+	fmt.Println()
+	cols := make([]report.Stacked, 0, len(networks))
+	for _, n := range networks {
+		var counts [4]int
+		total := 0
+		for _, r := range rows {
+			if r.network != n || r.kind != *kind {
+				continue
+			}
+			total++
+			switch {
+			case r.throughput < 20:
+				counts[0]++
+			case r.throughput < 50:
+				counts[1]++
+			case r.throughput < 100:
+				counts[2]++
+			default:
+				counts[3]++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		shares := make([]float64, 4)
+		for i, c := range counts {
+			shares[i] = float64(c) / float64(total)
+		}
+		cols = append(cols, report.Stacked{Label: n, Shares: shares})
+	}
+	fmt.Print(report.StackedChart("performance-level coverage",
+		[]string{"very-low", "low", "medium", "high"}, 50, cols))
+}
+
+func load(path string) ([]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	col := map[string]int{}
+	for i, name := range header {
+		col[name] = i
+	}
+	for _, need := range []string{"network", "kind", "area", "throughput_mbps", "loss_rate", "retrans_rate"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("missing column %q", need)
+		}
+	}
+	var rows []row
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		tput, err := strconv.ParseFloat(rec[col["throughput_mbps"]], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad throughput %q: %w", rec[col["throughput_mbps"]], err)
+		}
+		loss, _ := strconv.ParseFloat(rec[col["loss_rate"]], 64)
+		retr, _ := strconv.ParseFloat(rec[col["retrans_rate"]], 64)
+		rows = append(rows, row{
+			network:    rec[col["network"]],
+			kind:       rec[col["kind"]],
+			area:       rec[col["area"]],
+			throughput: tput,
+			loss:       loss,
+			retrans:    retr,
+		})
+	}
+	return rows, nil
+}

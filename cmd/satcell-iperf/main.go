@@ -1,0 +1,83 @@
+// satcell-iperf is the iPerf-style throughput tool of the toolkit: it
+// runs TCP/UDP upload and download tests with optional parallel streams
+// against a satcell-iperf server, printing per-interval reports and a
+// JSON summary — the same tests the paper runs while driving (§3.2).
+//
+// Server:  satcell-iperf -server -addr 127.0.0.1:5201
+// Client:  satcell-iperf -addr 127.0.0.1:5201 -proto udp -dir down -rate 200 -t 10s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"satcell/internal/meas/iperf"
+)
+
+func main() {
+	var (
+		server   = flag.Bool("server", false, "run in server mode")
+		addr     = flag.String("addr", "127.0.0.1:5201", "address to listen on / connect to")
+		proto    = flag.String("proto", "tcp", "protocol: tcp or udp")
+		dir      = flag.String("dir", "down", "direction from the client: down or up")
+		dur      = flag.Duration("t", 10*time.Second, "test duration")
+		parallel = flag.Int("P", 1, "parallel TCP streams")
+		rate     = flag.Float64("rate", 100, "UDP target rate (Mbps)")
+		asJSON   = flag.Bool("json", false, "print the full result as JSON")
+	)
+	flag.Parse()
+
+	if *server {
+		runServer(*addr)
+		return
+	}
+
+	cfg := iperf.ClientConfig{
+		Addr:     *addr,
+		Proto:    iperf.Proto(*proto),
+		Dir:      iperf.Direction(*dir),
+		Duration: *dur,
+		Parallel: *parallel,
+		RateMbps: *rate,
+	}
+	res, err := iperf.Run(context.Background(), cfg)
+	if err != nil {
+		log.Fatalf("satcell-iperf: %v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	for _, iv := range res.Intervals {
+		fmt.Printf("[%4.0f-%4.0fs] %8.2f Mbps\n",
+			iv.Start.Seconds(), iv.Start.Seconds()+1, iv.Mbps)
+	}
+	fmt.Printf("total: %.2f Mbps (%s %s, %d stream(s))\n",
+		res.TotalMbps, res.Proto, res.Dir, res.Parallel)
+	if res.Proto == iperf.UDP {
+		fmt.Printf("loss: %.2f%%  jitter: %.3f ms  (%d/%d datagrams)\n",
+			res.LossRate*100, res.JitterMs, res.Received, res.Sent)
+	}
+}
+
+func runServer(addr string) {
+	srv, err := iperf.NewServer(addr)
+	if err != nil {
+		log.Fatalf("satcell-iperf: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("satcell-iperf server listening on %s (tcp+udp)\n", srv.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+}

@@ -1,0 +1,125 @@
+// satcell-tracker plays the role of 5G Tracker (§3.2): it samples the
+// modem/dish state of one simulated device driving a route and writes
+// JSONL records (time, GPS, speed, network type, signal, serving cell
+// or satellite).
+//
+//	satcell-tracker -network MOB -route i94-eauclaire -out trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"satcell/internal/cell"
+	"satcell/internal/channel"
+	"satcell/internal/geo"
+	"satcell/internal/leo"
+	"satcell/internal/meas/tracker"
+	"satcell/internal/mobility"
+)
+
+// driveProvider adapts a drive + channel model to tracker.Provider.
+type driveProvider struct {
+	network channel.Network
+	fixes   []mobility.Fix
+	model   channel.Model
+}
+
+// Info implements tracker.Provider.
+func (p *driveProvider) Info(at time.Duration) (tracker.Record, error) {
+	idx := int(at / time.Second)
+	if idx >= len(p.fixes) {
+		return tracker.Record{}, fmt.Errorf("drive ended at %ds", len(p.fixes))
+	}
+	f := p.fixes[idx]
+	s := p.model.Sample(channel.Env{At: f.At, Pos: f.Pos, SpeedKmh: f.SpeedKmh, Area: f.Area})
+	netType := "starlink"
+	if p.network.Cellular() {
+		netType = "cellular"
+	}
+	return tracker.Record{
+		Network:  p.network.String(),
+		NetType:  netType,
+		Lat:      f.Pos.Lat,
+		Lon:      f.Pos.Lon,
+		SpeedKmh: f.SpeedKmh,
+		SignalDB: s.SignalDB,
+		Serving:  s.Serving,
+		Outage:   s.Outage,
+	}, nil
+}
+
+func main() {
+	var (
+		network = flag.String("network", "MOB", "device network: RM, MOB, ATT, TM or VZ")
+		route   = flag.String("route", "", "route name (default: first route of the corpus)")
+		seed    = flag.Int64("seed", 42, "world seed")
+		dur     = flag.Duration("t", 10*time.Minute, "tracking duration")
+		period  = flag.Duration("i", time.Second, "sampling period")
+		out     = flag.String("out", "", "output JSONL file (default stdout)")
+	)
+	flag.Parse()
+
+	n, err := channel.ParseNetwork(*network)
+	if err != nil {
+		log.Fatalf("satcell-tracker: %v", err)
+	}
+	r := pickRoute(*route)
+	gaz := geo.DefaultGazetteer()
+	fixes := mobility.Drive(r, gaz, mobility.DriveConfig{}, rand.New(rand.NewSource(*seed)))
+	model := buildModel(n, *seed)
+
+	tr := tracker.New(&driveProvider{network: n, fixes: fixes, model: model}, *period)
+	maxDur := time.Duration(len(fixes)) * time.Second
+	if *dur > maxDur {
+		*dur = maxDur
+	}
+	if err := tr.SampleRange(*dur); err != nil {
+		log.Fatalf("satcell-tracker: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("satcell-tracker: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteJSONL(w); err != nil {
+		log.Fatalf("satcell-tracker: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "satcell-tracker: %d records (%s on %s)\n",
+		len(tr.Records()), n, r.Name)
+}
+
+func pickRoute(name string) *mobility.Route {
+	routes := mobility.DefaultRoutes()
+	if name == "" {
+		return routes[0]
+	}
+	for _, r := range routes {
+		if r.Name == name {
+			return r
+		}
+	}
+	names := make([]string, len(routes))
+	for i, r := range routes {
+		names[i] = r.Name
+	}
+	log.Fatalf("satcell-tracker: unknown route %q (have %v)", name, names)
+	return nil
+}
+
+func buildModel(n channel.Network, seed int64) channel.Model {
+	if plan, ok := leo.PlanFor(n); ok {
+		return leo.NewModel(plan, leo.NewConstellation(leo.StarlinkShell()), seed)
+	}
+	carrier, _ := cell.CarrierFor(n)
+	return cell.NewModel(carrier, seed)
+}

@@ -1,0 +1,66 @@
+// satcell-udpping reimplements the paper's UDP-Ping latency tool
+// (§3.2): 1024-byte UDP probes, per-probe RTTs and loss accounting.
+//
+// Server:  satcell-udpping -server -addr 127.0.0.1:5301
+// Client:  satcell-udpping -addr 127.0.0.1:5301 -c 20 -i 200ms
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"satcell/internal/meas/udpping"
+	"satcell/internal/stats"
+)
+
+func main() {
+	var (
+		server   = flag.Bool("server", false, "run in echo-server mode")
+		addr     = flag.String("addr", "127.0.0.1:5301", "address to listen on / probe")
+		count    = flag.Int("c", 10, "number of probes")
+		interval = flag.Duration("i", 200*time.Millisecond, "probe interval")
+		timeout  = flag.Duration("w", 2*time.Second, "trailing reply timeout")
+	)
+	flag.Parse()
+
+	if *server {
+		srv, err := udpping.NewServer(*addr)
+		if err != nil {
+			log.Fatalf("satcell-udpping: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("satcell-udpping echo server on %s\n", srv.Addr())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		<-ctx.Done()
+		return
+	}
+
+	res, err := udpping.Run(context.Background(), udpping.Config{
+		Addr: *addr, Count: *count, Interval: *interval, Timeout: *timeout,
+	})
+	if err != nil {
+		log.Fatalf("satcell-udpping: %v", err)
+	}
+	for _, p := range res.Probes {
+		if p.Lost {
+			fmt.Printf("seq=%d lost\n", p.Seq)
+		} else {
+			fmt.Printf("seq=%d rtt=%.3f ms\n", p.Seq, p.RTT.Seconds()*1000)
+		}
+	}
+	rtts := res.RTTsMs()
+	sum := stats.Summarize(rtts)
+	fmt.Printf("--- %s ---\n", *addr)
+	fmt.Printf("%d sent, %d received, %.1f%% loss\n",
+		res.Sent, res.Received, res.LossRate()*100)
+	if len(rtts) > 0 {
+		fmt.Printf("rtt min/median/p90/max = %.3f/%.3f/%.3f/%.3f ms\n",
+			sum.Min, sum.Median, sum.P90, sum.Max)
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: generate a small driving dataset and print the paper's
+// headline comparison — Starlink vs cellular throughput, TCP vs UDP —
+// in a couple of dozen lines of code.
+package main
+
+import (
+	"fmt"
+
+	"satcell"
+)
+
+func main() {
+	world := satcell.NewWorld(42)
+
+	// A 5% campaign: ~190 km of simulated driving with all five
+	// networks measured side by side.
+	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: 0.05})
+	fmt.Printf("campaign: %d tests over %.0f km (%0.f trace-minutes)\n\n",
+		len(ds.Tests), ds.TotalKm, ds.TotalTestMin)
+
+	// Fig. 3a: why TCP struggles on Starlink.
+	fig := world.Figure(ds, "fig3a", satcell.FigureOptions{})
+	fmt.Printf("Starlink Mobility: UDP %.0f Mbps vs TCP %.0f Mbps (%.1fx gap)\n",
+		fig.KPI("mob_udp_mean_mbps"), fig.KPI("mob_tcp_mean_mbps"), fig.KPI("mob_udp_tcp_ratio"))
+	fmt.Printf("Cellular (pooled): UDP %.0f Mbps vs TCP %.0f Mbps (%.1fx gap)\n\n",
+		fig.KPI("cell_udp_mean_mbps"), fig.KPI("cell_tcp_mean_mbps"), fig.KPI("cell_udp_tcp_ratio"))
+
+	// Fig. 9: who covers the map at >100 Mbps.
+	cov := world.Figure(ds, "fig9", satcell.FigureOptions{})
+	for _, col := range []string{"ATT", "TM", "VZ", "BestCL", "RM", "MOB", "MOB+CL"} {
+		fmt.Printf("%-8s high-performance coverage: %5.1f%%\n",
+			col, 100*cov.KPI(col+"_high"))
+	}
+	fmt.Println("\nCombining Starlink with cellular (MOB+CL) covers more of the")
+	fmt.Println("drive at high performance than either network type alone —")
+	fmt.Println("the paper's case for multipath integration.")
+}

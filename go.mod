@@ -1,0 +1,3 @@
+module satcell
+
+go 1.22

@@ -1,0 +1,182 @@
+// Package channel defines the common abstraction shared by the LEO
+// satellite and cellular radio models: a time-sampled description of the
+// instantaneous network conditions a device observes (available
+// capacity, base RTT, loss probability, signal, serving element).
+//
+// Channel models are *generative*: given the drive environment at time t
+// (position, speed, area type) they produce the next Sample. The emulator
+// (internal/emu) and the trace tooling (internal/trace) both consume
+// sequences of Samples.
+package channel
+
+import (
+	"fmt"
+	"time"
+
+	"satcell/internal/geo"
+)
+
+// Network identifies one of the five measured services.
+type Network int
+
+const (
+	StarlinkRoam Network = iota
+	StarlinkMobility
+	ATT
+	TMobile
+	Verizon
+)
+
+// Networks lists all five services in the paper's canonical order.
+var Networks = []Network{StarlinkRoam, StarlinkMobility, ATT, TMobile, Verizon}
+
+// Cellular reports whether n is a cellular carrier.
+func (n Network) Cellular() bool { return n == ATT || n == TMobile || n == Verizon }
+
+// Satellite reports whether n is a Starlink plan.
+func (n Network) Satellite() bool { return n == StarlinkRoam || n == StarlinkMobility }
+
+// String returns the short name used in the paper's figures.
+func (n Network) String() string {
+	switch n {
+	case StarlinkRoam:
+		return "RM"
+	case StarlinkMobility:
+		return "MOB"
+	case ATT:
+		return "ATT"
+	case TMobile:
+		return "TM"
+	case Verizon:
+		return "VZ"
+	default:
+		return fmt.Sprintf("Network(%d)", int(n))
+	}
+}
+
+// ParseNetwork converts a short name back to a Network.
+func ParseNetwork(s string) (Network, error) {
+	for _, n := range Networks {
+		if n.String() == s {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("channel: unknown network %q", s)
+}
+
+// Env is the drive environment a channel model samples under.
+type Env struct {
+	At       time.Duration // offset from the start of the drive
+	Pos      geo.LatLon
+	SpeedKmh float64
+	Area     geo.AreaType
+}
+
+// Sample is one observation of instantaneous channel conditions.
+// Capacities are the achievable UDP-level rates (what an unlimited CBR
+// flow could push through); the transport simulations degrade from
+// there (TCP reacts to LossDown/LossUp, queueing adds delay).
+type Sample struct {
+	At       time.Duration
+	DownMbps float64       // downlink available capacity
+	UpMbps   float64       // uplink available capacity
+	RTT      time.Duration // base (unloaded) round-trip time
+	LossDown float64       // random packet-loss probability, downlink
+	LossUp   float64       // random packet-loss probability, uplink
+	SignalDB float64       // RSRP-style signal indicator (dBm, cellular) or SNR proxy (satellite)
+	Serving  string        // serving satellite or cell identifier
+	Outage   bool          // true when the link is effectively down (obstruction / no coverage)
+	// Burst marks seconds whose losses are one correlated burst (e.g.
+	// a satellite handover gap) rather than independent random drops;
+	// TCP coalesces such a burst into a single recovery episode.
+	Burst bool
+}
+
+// Model generates channel samples for one network service.
+type Model interface {
+	// Network identifies the service this model describes.
+	Network() Network
+	// Sample returns the channel conditions under env. Implementations
+	// advance internal state (fading processes, serving element) and
+	// must be called with non-decreasing env.At.
+	Sample(env Env) Sample
+	// Reset returns the model to its initial state so a new independent
+	// drive can be generated.
+	Reset()
+}
+
+// Trace is an ordered sequence of samples from one model.
+type Trace struct {
+	Network Network
+	Samples []Sample
+}
+
+// Duration returns the time covered by the trace.
+func (tr *Trace) Duration() time.Duration {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	return tr.Samples[len(tr.Samples)-1].At
+}
+
+// DownSeries returns the downlink capacity in Mbps per sample.
+func (tr *Trace) DownSeries() []float64 {
+	out := make([]float64, len(tr.Samples))
+	for i, s := range tr.Samples {
+		out[i] = s.DownMbps
+	}
+	return out
+}
+
+// UpSeries returns the uplink capacity in Mbps per sample.
+func (tr *Trace) UpSeries() []float64 {
+	out := make([]float64, len(tr.Samples))
+	for i, s := range tr.Samples {
+		out[i] = s.UpMbps
+	}
+	return out
+}
+
+// At returns the sample in effect at time t (the last sample with
+// Sample.At <= t), or the first sample for t before the trace start.
+func (tr *Trace) At(t time.Duration) Sample {
+	if len(tr.Samples) == 0 {
+		return Sample{}
+	}
+	lo, hi := 0, len(tr.Samples)-1
+	if t <= tr.Samples[0].At {
+		return tr.Samples[0]
+	}
+	if t >= tr.Samples[hi].At {
+		return tr.Samples[hi]
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if tr.Samples[mid].At <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return tr.Samples[lo]
+}
+
+// Slice returns the sub-trace covering [from, to).
+func (tr *Trace) Slice(from, to time.Duration) *Trace {
+	out := &Trace{Network: tr.Network}
+	for _, s := range tr.Samples {
+		if s.At >= from && s.At < to {
+			shifted := s
+			shifted.At -= from
+			out.Samples = append(out.Samples, shifted)
+		}
+	}
+	return out
+}
+
+// Record couples a channel sample with the drive environment it was
+// observed under; the dataset layer stores these.
+type Record struct {
+	Env    Env
+	Sample Sample
+}

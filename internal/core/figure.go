@@ -1,0 +1,126 @@
+// Package core turns the generated driving dataset into the paper's
+// evaluation artifacts: one analysis function per figure (Fig. 1 through
+// Fig. 11), each returning a Figure holding the plotted series plus the
+// headline statistics (KPIs) that the calibration tests and
+// EXPERIMENTS.md compare against the paper's reported values.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"satcell/internal/report"
+)
+
+// SeriesKind describes how a figure's data would be plotted.
+type SeriesKind int
+
+// Figure data kinds.
+const (
+	CDF SeriesKind = iota
+	TimeSeries
+	Bars
+	BoxPlot
+	StackedBars
+)
+
+// Series is one labelled data series of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is the reproduction of one paper figure.
+type Figure struct {
+	ID    string
+	Title string
+	Kind  SeriesKind
+	// XLabel/YLabel document the axes.
+	XLabel, YLabel string
+	Series         []Series
+	// KPIs are the figure's headline numbers (e.g. "mob_udp_mean_mbps").
+	KPIs map[string]float64
+	// Notes records free-form observations.
+	Notes []string
+}
+
+// KPI returns a KPI value (0 if absent).
+func (f *Figure) KPI(name string) float64 { return f.KPIs[name] }
+
+func (f *Figure) addKPI(name string, v float64) {
+	if f.KPIs == nil {
+		f.KPIs = make(map[string]float64)
+	}
+	f.KPIs[name] = v
+}
+
+// Render produces a plain-text rendition of the figure: headline KPIs
+// followed by an ASCII plot of the series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", f.ID, f.Title)
+	if len(f.KPIs) > 0 {
+		keys := make([]string, 0, len(f.KPIs))
+		for k := range f.KPIs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-38s %10.3f\n", k, f.KPIs[k])
+		}
+	}
+	b.WriteString(f.renderPlot())
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// renderPlot draws the figure's series with the ASCII plot toolkit.
+func (f *Figure) renderPlot() string {
+	if len(f.Series) == 0 {
+		return ""
+	}
+	switch f.Kind {
+	case CDF, TimeSeries:
+		lines := make([]report.Line, 0, len(f.Series))
+		for _, s := range f.Series {
+			if len(s.X) == 0 {
+				continue
+			}
+			lines = append(lines, report.Line{Label: s.Label, X: s.X, Y: s.Y})
+		}
+		return report.LinePlot("", f.XLabel, f.YLabel, 72, 16, lines)
+	case StackedBars:
+		cols := make([]report.Stacked, 0, len(f.Series))
+		for _, s := range f.Series {
+			cols = append(cols, report.Stacked{Label: s.Label, Shares: s.Y})
+		}
+		return report.StackedChart("", PerfLevelNames, 60, cols)
+	default: // Bars, BoxPlot
+		var b strings.Builder
+		for _, s := range f.Series {
+			bars := make([]report.Bar, 0, len(s.X))
+			for i := range s.X {
+				bars = append(bars, report.Bar{Label: fmt.Sprintf("%.4g", s.X[i]), Value: s.Y[i]})
+			}
+			b.WriteString(report.BarChart("  -- "+s.Label, f.YLabel, 40, bars))
+		}
+		return b.String()
+	}
+}
+
+// CSV renders the figure's series as CSV (long format:
+// series,x,y — one row per point).
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("series,x,y\n")
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%g,%g\n", s.Label, s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Target is one paper-reported number and the tolerance band within
+// which the reproduction is considered to preserve the paper's finding
+// (shape and rough factor, not exact value — the substrate is a
+// simulator, not the authors' testbed).
+type Target struct {
+	FigureID string
+	KPI      string
+	Name     string
+	Paper    float64 // the value the paper reports
+	Lo, Hi   float64 // acceptance band for the reproduction
+}
+
+// PaperTargets enumerates every quantitative claim the reproduction
+// tracks, figure by figure.
+func PaperTargets() []Target {
+	return []Target{
+		// §4.1 / Fig. 3a — TCP suffers on Starlink, not on cellular.
+		{"fig3a", "mob_udp_mean_mbps", "Starlink MOB UDP downlink mean (Mbps)", 128, 90, 185},
+		{"fig3a", "mob_tcp_mean_mbps", "Starlink MOB TCP downlink mean (Mbps)", 29, 12, 62},
+		{"fig3a", "mob_udp_tcp_ratio", "Starlink UDP/TCP throughput ratio", 4.4, 2.0, 9.0},
+		{"fig3a", "cell_udp_tcp_ratio", "Cellular UDP/TCP throughput ratio (minimal gap)", 1.1, 0.9, 2.2},
+
+		// §4.1 / Fig. 3b — Roam vs Mobility.
+		{"fig3b", "mob_median_mbps", "MOB UDP downlink median (Mbps)", 197, 140, 265},
+		{"fig3b", "mob_mean_mbps", "MOB UDP downlink mean (Mbps)", 128, 90, 185},
+		{"fig3b", "rm_median_mbps", "RM UDP downlink median (Mbps)", 93, 55, 135},
+		{"fig3b", "rm_mean_mbps", "RM UDP downlink mean (Mbps)", 63, 40, 100},
+
+		// §4.1 / Fig. 3c — FDD asymmetry.
+		{"fig3c", "down_up_ratio", "Starlink downlink/uplink ratio", 10, 6, 14},
+
+		// §4.1 / Fig. 4 — latency bands.
+		{"fig4", "median_ms_MOB", "MOB median RTT (ms)", 75, 50, 100},
+		{"fig4", "median_ms_RM", "RM median RTT (ms)", 75, 50, 100},
+		{"fig4", "median_ms_VZ", "VZ median RTT (ms)", 55, 35, 75},
+		{"fig4", "median_ms_TM", "TM median RTT (ms)", 57, 35, 80},
+		{"fig4", "median_ms_ATT", "ATT median RTT (ms)", 90, 60, 115},
+
+		// §4.1 / Fig. 5 — retransmission rates (0.3-1.3% on Starlink).
+		{"fig5", "retrans_down_MOB", "MOB downlink retransmission rate", 0.006, 0.002, 0.02},
+		{"fig5", "retrans_down_RM", "RM downlink retransmission rate", 0.009, 0.002, 0.035},
+		{"fig5", "retrans_down_VZ", "VZ downlink retransmission rate", 0.001, 0, 0.004},
+
+		// §4.2 / Fig. 7 — parallelism gains.
+		// The paper reports these as lower bounds ("over 50%", "over
+		// 130%"), so the acceptance bands extend well above them.
+		{"fig7", "rm_4p_gain_pct", "Roam 4-parallel TCP gain (%)", 50, 25, 220},
+		{"fig7", "rm_8p_gain_pct", "Roam 8-parallel TCP gain (%)", 130, 55, 300},
+
+		// §5.1 / Fig. 8 — area shares.
+		{"fig8", "share_urban", "Urban share of data points (%)", 29.78, 22, 40},
+		{"fig8", "share_suburban", "Suburban share of data points (%)", 34.30, 25, 42},
+		{"fig8", "share_rural", "Rural share of data points (%)", 35.91, 27, 45},
+
+		// §5.2 / Fig. 9 — coverage shares.
+		{"fig9", "MOB_high", "MOB high-performance share", 0.6061, 0.45, 0.75},
+		{"fig9", "VZ_high", "VZ high-performance share", 0.4439, 0.28, 0.60},
+		{"fig9", "TM_high", "TM high-performance share", 0.4247, 0.26, 0.58},
+
+		// §6 / Fig. 10 — multipath gains (tuned buffers).
+		{"fig10", "gain_over_best_mob_att_pct", "MPTCP MOB+ATT gain over better path (%)", 30, 8, 90},
+		{"fig10", "gain_over_best_mob_vz_pct", "MPTCP MOB+VZ gain over better path (%)", 66, 15, 130},
+		{"fig10", "bandwidth_utilization_pct", "MPTCP bandwidth utilization (%)", 82.5, 55, 97},
+
+		// Eq. (1).
+		{"eq1", "latency_550km_ms", "One-way 550 km propagation (ms)", 1.835, 1.83, 1.84},
+	}
+}
+
+// CompositeTargets are paper claims computed from multiple KPIs of one
+// figure rather than a single KPI.
+type CompositeTarget struct {
+	FigureID string
+	Name     string
+	Check    func(f *Figure) (measured float64, ok bool)
+}
+
+// PaperCompositeTargets lists the ordering/relational claims.
+func PaperCompositeTargets() []CompositeTarget {
+	return []CompositeTarget{
+		{"fig4", "ATT has the highest median latency", func(f *Figure) (float64, bool) {
+			att := f.KPI("median_ms_ATT")
+			ok := att > f.KPI("median_ms_VZ") && att > f.KPI("median_ms_TM") &&
+				att > f.KPI("median_ms_MOB") && att > f.KPI("median_ms_RM")
+			return att, ok
+		}},
+		{"fig5", "Starlink loses more packets than cellular (both dirs)", func(f *Figure) (float64, bool) {
+			minSat := minF(f.KPI("retrans_down_MOB"), f.KPI("retrans_down_RM"))
+			maxCell := maxF(f.KPI("retrans_down_ATT"), f.KPI("retrans_down_TM"), f.KPI("retrans_down_VZ"))
+			return minSat / maxF(maxCell, 1e-9), minSat > maxCell
+		}},
+		{"fig6", "Throughput varies little with speed (<35% deviation)", func(f *Figure) (float64, bool) {
+			worst := 0.0
+			for k, v := range f.KPIs {
+				if strings.HasPrefix(k, "speed_dev_") && v > worst {
+					worst = v
+				}
+			}
+			return worst, worst < 0.35
+		}},
+		{"fig7", "Parallelism helps Starlink more than cellular", func(f *Figure) (float64, bool) {
+			return f.KPI("rm_8p_gain_pct") - f.KPI("cell_8p_gain_pct"),
+				f.KPI("rm_8p_gain_pct") > f.KPI("cell_8p_gain_pct") &&
+					f.KPI("rm_4p_gain_pct") > f.KPI("cell_4p_gain_pct")
+		}},
+		{"fig8", "Cellular wins urban; Starlink wins suburban+rural", func(f *Figure) (float64, bool) {
+			ok := f.KPI("mean_Cellular_urban") > f.KPI("mean_MOB_urban") &&
+				f.KPI("mean_MOB_suburban") > f.KPI("mean_Cellular_suburban") &&
+				f.KPI("mean_MOB_rural") > f.KPI("mean_Cellular_rural")
+			return f.KPI("mean_MOB_rural") - f.KPI("mean_Cellular_rural"), ok
+		}},
+		{"fig8", "Cellular degrades toward rural; Starlink improves", func(f *Figure) (float64, bool) {
+			ok := f.KPI("mean_Cellular_urban") > f.KPI("mean_Cellular_rural") &&
+				f.KPI("mean_MOB_rural") > f.KPI("mean_MOB_urban")
+			return f.KPI("mean_MOB_rural") / maxF(f.KPI("mean_MOB_urban"), 1e-9), ok
+		}},
+		{"fig9", "ATT and RM trail (low+very-low shares largest)", func(f *Figure) (float64, bool) {
+			attLow := f.KPI("ATT_low") + f.KPI("ATT_very-low")
+			rmLow := f.KPI("RM_low") + f.KPI("RM_very-low")
+			vzLow := f.KPI("VZ_low") + f.KPI("VZ_very-low")
+			mobLow := f.KPI("MOB_low") + f.KPI("MOB_very-low")
+			return attLow, attLow > vzLow && rmLow > mobLow
+		}},
+		{"fig9", "Combining networks improves high-performance coverage", func(f *Figure) (float64, bool) {
+			ok := f.KPI("RM+CL_high") > f.KPI("BestCL_high")-0.001 &&
+				f.KPI("MOB+CL_high") > f.KPI("MOB_high") &&
+				f.KPI("MOB+CL_high") > f.KPI("BestCL_high")
+			return f.KPI("MOB+CL_high"), ok
+		}},
+		{"fig10", "Buffer tuning unlocks the multipath gain", func(f *Figure) (float64, bool) {
+			tuned := f.KPI("gain_over_best_mob_att_pct") + f.KPI("gain_over_best_mob_vz_pct")
+			untuned := f.KPI("gain_untuned_mob_att_pct") + f.KPI("gain_untuned_mob_vz_pct")
+			return tuned - untuned, tuned > untuned
+		}},
+		{"fig11", "MPTCP rides the better path", func(f *Figure) (float64, bool) {
+			a := f.KPI("mean_MPTCP(a)")
+			ok := a > f.KPI("mean_MOB(a)")*0.9 && a > f.KPI("mean_ATT(a)")*0.9 &&
+				f.KPI("mean_MPTCP(b)") > f.KPI("mean_VZ(b)")*0.9
+			return a, ok
+		}},
+	}
+}
+
+func minF(xs ...float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxF(xs ...float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ExperimentRow is one line of the paper-vs-measured record.
+type ExperimentRow struct {
+	FigureID string
+	Name     string
+	Paper    float64
+	Measured float64
+	Lo, Hi   float64
+	OK       bool
+	Relation bool // true for composite (ordering) targets
+}
+
+// Experiments evaluates every target against the given figures (keyed
+// by figure ID) and returns the record for EXPERIMENTS.md.
+func Experiments(figs map[string]*Figure) []ExperimentRow {
+	var rows []ExperimentRow
+	for _, t := range PaperTargets() {
+		f, ok := figs[t.FigureID]
+		if !ok {
+			continue
+		}
+		m := f.KPI(t.KPI)
+		rows = append(rows, ExperimentRow{
+			FigureID: t.FigureID, Name: t.Name, Paper: t.Paper,
+			Measured: m, Lo: t.Lo, Hi: t.Hi,
+			OK: m >= t.Lo && m <= t.Hi,
+		})
+	}
+	for _, ct := range PaperCompositeTargets() {
+		f, ok := figs[ct.FigureID]
+		if !ok {
+			continue
+		}
+		m, pass := ct.Check(f)
+		rows = append(rows, ExperimentRow{
+			FigureID: ct.FigureID, Name: ct.Name, Measured: m,
+			OK: pass, Relation: true,
+		})
+	}
+	return rows
+}
+
+// RenderExperiments formats the record as a markdown table.
+func RenderExperiments(rows []ExperimentRow) string {
+	var b strings.Builder
+	b.WriteString("| Figure | Claim | Paper | Measured | Band | OK |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		status := "PASS"
+		if !r.OK {
+			status = "FAIL"
+		}
+		if r.Relation {
+			fmt.Fprintf(&b, "| %s | %s | (ordering) | %.4g | — | %s |\n",
+				r.FigureID, r.Name, r.Measured, status)
+		} else {
+			fmt.Fprintf(&b, "| %s | %s | %.4g | %.4g | [%.4g, %.4g] | %s |\n",
+				r.FigureID, r.Name, r.Paper, r.Measured, r.Lo, r.Hi, status)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"sort"
+
+	"satcell/internal/dataset"
+)
+
+// RunConfig bundles everything needed to regenerate the evaluation.
+type RunConfig struct {
+	Dataset   dataset.Config
+	Multipath MultipathConfig
+}
+
+// AllFigures generates the dataset (unless ds is provided) and produces
+// every figure keyed by ID.
+func AllFigures(ds *dataset.Dataset, mp MultipathConfig) map[string]*Figure {
+	a := NewAnalyzer(ds)
+	figs := []*Figure{
+		a.Figure1(),
+		a.Figure3a(), a.Figure3b(), a.Figure3c(),
+		a.Figure4(), a.Figure5(), a.Figure6(), a.Figure7(),
+		a.Figure8(), a.Figure9(),
+		a.Figure10(mp), a.Figure11(mp),
+		a.Equation1(),
+		a.DatasetSummary(),
+	}
+	out := make(map[string]*Figure, len(figs))
+	for _, f := range figs {
+		out[f.ID] = f
+	}
+	return out
+}
+
+// FigureIDs returns the sorted figure identifiers of a figure map.
+func FigureIDs(figs map[string]*Figure) []string {
+	ids := make([]string, 0, len(figs))
+	for id := range figs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,437 @@
+// Package dataset generates the synthetic equivalent of the paper's
+// driving dataset (§3.3): five devices (Starlink Roam, Starlink
+// Mobility, AT&T, T-Mobile, Verizon) measured side by side along drives
+// across five states, yielding network tests (iPerf TCP/UDP up/down,
+// parallel TCP, UDP-Ping) tagged with GPS, speed and area type. At full
+// scale the campaign matches the paper's headline numbers: ~1,239
+// tests, ~9,000 minutes of traces, >3,800 km driven.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"satcell/internal/cell"
+	"satcell/internal/channel"
+	"satcell/internal/geo"
+	"satcell/internal/leo"
+	"satcell/internal/mobility"
+	"satcell/internal/stats"
+)
+
+// Kind is the type of one network test.
+type Kind int
+
+// Test kinds, mirroring the paper's §3.2 toolset.
+const (
+	UDPDown Kind = iota
+	UDPUp
+	TCPDown
+	TCPDown4P
+	TCPDown8P
+	TCPUp
+	Ping
+)
+
+// String returns the short name of the test kind.
+func (k Kind) String() string {
+	switch k {
+	case UDPDown:
+		return "udp-down"
+	case UDPUp:
+		return "udp-up"
+	case TCPDown:
+		return "tcp-down"
+	case TCPDown4P:
+		return "tcp-down-4p"
+	case TCPDown8P:
+		return "tcp-down-8p"
+	case TCPUp:
+		return "tcp-up"
+	case Ping:
+		return "udp-ping"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Parallel returns the number of parallel TCP streams of the kind.
+func (k Kind) Parallel() int {
+	switch k {
+	case TCPDown4P:
+		return 4
+	case TCPDown8P:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// testRotation is the repeating order of test windows during a drive.
+var testRotation = []Kind{
+	UDPDown, TCPDown, Ping, UDPUp, UDPDown, TCPDown4P,
+	TCPDown, UDPDown, TCPDown8P, Ping, TCPUp, UDPDown,
+}
+
+// Test is one per-device network test (the paper's unit: 1,239 of them).
+type Test struct {
+	ID       int
+	Network  channel.Network
+	Kind     Kind
+	Route    string
+	State    string
+	Start    time.Duration // offset into the drive
+	Duration time.Duration
+
+	// Environment summary over the test window.
+	Area         geo.AreaType // majority area type
+	MeanSpeedKmh float64
+
+	// Channel observations (per second).
+	Records []channel.Record
+
+	// Results.
+	ThroughputMbps float64   // goodput of the test's transport
+	Series         []float64 // per-second goodput
+	RTTsMs         []float64 // ping tests
+	LossRate       float64
+	RetransRate    float64 // TCP tests
+}
+
+// Drive is one route traversal with the channel observations of all
+// five devices for its entire duration.
+type Drive struct {
+	Route    string
+	State    string
+	Fixes    []mobility.Fix
+	Observed map[channel.Network][]channel.Record
+}
+
+// Trace extracts the continuous channel trace of one network over the
+// whole drive.
+func (d *Drive) Trace(n channel.Network) *channel.Trace {
+	recs := d.Observed[n]
+	tr := &channel.Trace{Network: n}
+	for _, r := range recs {
+		tr.Samples = append(tr.Samples, r.Sample)
+	}
+	return tr
+}
+
+// Dataset is the complete campaign output.
+type Dataset struct {
+	Drives []Drive
+	Tests  []Test
+
+	TotalKm      float64
+	TotalTestMin float64
+	Seed         int64
+}
+
+// Config controls campaign generation.
+type Config struct {
+	// Seed makes the whole campaign reproducible.
+	Seed int64
+	// Scale scales the campaign length: 1.0 reproduces the paper's
+	// ~3,800 km / ~1,239 tests; smaller values generate proportionally
+	// less. Default 0.05.
+	Scale float64
+	// Routes overrides the drive corpus (default mobility.DefaultRoutes).
+	Routes []*mobility.Route
+}
+
+// Paper-scale targets (§3.3).
+const (
+	PaperTotalKm  = 3800
+	PaperTests    = 1239
+	PaperTraceMin = 9083
+)
+
+// Campaign-pacing constants chosen so that a full-scale run reproduces
+// the §3.3 headline numbers.
+const (
+	meanTestSeconds = 440 // ~7.3 min per test window
+	meanGapSeconds  = 330 // idle time between windows
+)
+
+// Generate runs the campaign and produces the dataset.
+func Generate(cfg Config) *Dataset {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.05
+	}
+	routes := cfg.Routes
+	if len(routes) == 0 {
+		routes = mobility.DefaultRoutes()
+	}
+	gaz := geo.DefaultGazetteer()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Shared constellation; per-device channel models.
+	cons := leo.NewConstellation(leo.StarlinkShell())
+	models := map[channel.Network]channel.Model{
+		channel.StarlinkRoam:     leo.NewModel(leo.RoamPlan(), cons, cfg.Seed+101),
+		channel.StarlinkMobility: leo.NewModel(leo.MobilityPlan(), cons, cfg.Seed+102),
+	}
+	for _, carrier := range cell.Carriers() {
+		models[carrier.Network] = cell.NewModel(carrier, cfg.Seed+103+int64(carrier.Network))
+	}
+
+	ds := &Dataset{Seed: cfg.Seed}
+	targetKm := PaperTotalKm * cfg.Scale
+	testID := 0
+	for ri := 0; ds.TotalKm < targetKm; ri++ {
+		route := routes[ri%len(routes)]
+		drive := generateDrive(route, gaz, models, rng)
+		ds.TotalKm += lastDist(drive.Fixes)
+
+		// Carve the drive into test windows.
+		offset := time.Duration(rng.Intn(60)) * time.Second
+		rot := 0
+		for offset < drive.duration() {
+			dur := time.Duration(float64(meanTestSeconds)*(0.6+0.8*rng.Float64())) * time.Second
+			if offset+dur > drive.duration() {
+				break
+			}
+			kind := testRotation[rot%len(testRotation)]
+			rot++
+			for _, n := range channel.Networks {
+				// Each test gets its own derived RNG so that results
+				// are stable regardless of how much randomness other
+				// tests consume.
+				trng := rand.New(rand.NewSource(cfg.Seed ^ int64(testID+1)*0x9E3779B9))
+				t := buildTest(testID, n, kind, drive, offset, dur, trng)
+				testID++
+				ds.Tests = append(ds.Tests, t)
+				ds.TotalTestMin += dur.Minutes()
+			}
+			offset += dur + time.Duration(float64(meanGapSeconds)*(0.6+0.8*rng.Float64()))*time.Second
+		}
+		ds.Drives = append(ds.Drives, drive)
+	}
+	return ds
+}
+
+func (d *Drive) duration() time.Duration {
+	if len(d.Fixes) == 0 {
+		return 0
+	}
+	return d.Fixes[len(d.Fixes)-1].At
+}
+
+func lastDist(fixes []mobility.Fix) float64 {
+	if len(fixes) == 0 {
+		return 0
+	}
+	return fixes[len(fixes)-1].DistKm
+}
+
+// generateDrive simulates one route traversal observing all devices.
+func generateDrive(route *mobility.Route, gaz *geo.Gazetteer,
+	models map[channel.Network]channel.Model, rng *rand.Rand) Drive {
+
+	fixes := mobility.Drive(route, gaz, mobility.DriveConfig{}, rng)
+	d := Drive{
+		Route:    route.Name,
+		State:    route.State,
+		Fixes:    fixes,
+		Observed: make(map[channel.Network][]channel.Record, len(models)),
+	}
+	for n, m := range models {
+		m.Reset()
+		recs := make([]channel.Record, 0, len(fixes))
+		for _, f := range fixes {
+			env := channel.Env{At: f.At, Pos: f.Pos, SpeedKmh: f.SpeedKmh, Area: f.Area}
+			recs = append(recs, channel.Record{Env: env, Sample: m.Sample(env)})
+		}
+		d.Observed[n] = recs
+	}
+	return d
+}
+
+// buildTest evaluates one test window for one device.
+func buildTest(id int, n channel.Network, kind Kind, drive Drive,
+	start, dur time.Duration, rng *rand.Rand) Test {
+
+	recs := window(drive.Observed[n], start, start+dur)
+	t := Test{
+		ID: id, Network: n, Kind: kind,
+		Route: drive.Route, State: drive.State,
+		Start: start, Duration: dur,
+		Records: recs,
+	}
+	t.Area = majorityArea(recs)
+	t.MeanSpeedKmh = meanSpeed(recs)
+
+	tr := &channel.Trace{Network: n}
+	for _, r := range recs {
+		s := r.Sample
+		s.At -= start
+		tr.Samples = append(tr.Samples, s)
+	}
+
+	switch kind {
+	case UDPDown:
+		t.Series = tr.DownSeries()
+		t.ThroughputMbps = stats.Mean(t.Series)
+		t.LossRate = meanLoss(recs, false)
+	case UDPUp:
+		t.Series = tr.UpSeries()
+		t.ThroughputMbps = stats.Mean(t.Series)
+		t.LossRate = meanLoss(recs, true)
+	case TCPDown, TCPDown4P, TCPDown8P:
+		res := FluidTCP{Flows: kind.Parallel()}.Run(tr, rng)
+		t.Series = res.GoodputMbps
+		t.ThroughputMbps = res.MeanGoodputMbps
+		t.RetransRate = res.RetransRate
+		t.LossRate = meanLoss(recs, false)
+	case TCPUp:
+		up := flipTrace(tr)
+		res := FluidTCP{Flows: 1}.Run(up, rng)
+		t.Series = res.GoodputMbps
+		t.ThroughputMbps = res.MeanGoodputMbps
+		t.RetransRate = res.RetransRate
+		t.LossRate = meanLoss(recs, true)
+	case Ping:
+		for _, r := range recs {
+			if r.Sample.Outage || r.Sample.RTT == 0 {
+				t.LossRate++
+				continue
+			}
+			// Probe loss follows the channel loss of both directions.
+			if rng.Float64() < r.Sample.LossUp+r.Sample.LossDown {
+				t.LossRate++
+				continue
+			}
+			t.RTTsMs = append(t.RTTsMs, r.Sample.RTT.Seconds()*1000)
+		}
+		if len(recs) > 0 {
+			t.LossRate /= float64(len(recs))
+		}
+	}
+	return t
+}
+
+// flipTrace swaps up and down so the fluid model (which reads DownMbps/
+// LossDown) evaluates the uplink direction.
+func flipTrace(tr *channel.Trace) *channel.Trace {
+	out := &channel.Trace{Network: tr.Network}
+	for _, s := range tr.Samples {
+		s.DownMbps, s.UpMbps = s.UpMbps, s.DownMbps
+		s.LossDown, s.LossUp = s.LossUp, s.LossDown
+		out.Samples = append(out.Samples, s)
+	}
+	return out
+}
+
+func window(recs []channel.Record, from, to time.Duration) []channel.Record {
+	out := make([]channel.Record, 0, int((to-from)/time.Second)+1)
+	for _, r := range recs {
+		if r.Env.At >= from && r.Env.At < to {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func majorityArea(recs []channel.Record) geo.AreaType {
+	counts := map[geo.AreaType]int{}
+	for _, r := range recs {
+		counts[r.Env.Area]++
+	}
+	best := geo.Rural
+	bestN := -1
+	for _, a := range geo.AreaTypes {
+		if counts[a] > bestN {
+			best, bestN = a, counts[a]
+		}
+	}
+	return best
+}
+
+func meanSpeed(recs []channel.Record) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range recs {
+		sum += r.Env.SpeedKmh
+	}
+	return sum / float64(len(recs))
+}
+
+func meanLoss(recs []channel.Record, uplink bool) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range recs {
+		if uplink {
+			sum += r.Sample.LossUp
+		} else {
+			sum += r.Sample.LossDown
+		}
+	}
+	return sum / float64(len(recs))
+}
+
+// --- Query helpers used by the analyses ---
+
+// Filter returns the tests matching every predicate.
+func (ds *Dataset) Filter(preds ...func(*Test) bool) []*Test {
+	var out []*Test
+outer:
+	for i := range ds.Tests {
+		t := &ds.Tests[i]
+		for _, p := range preds {
+			if !p(t) {
+				continue outer
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// ByNetwork filters on the measured network.
+func ByNetwork(n channel.Network) func(*Test) bool {
+	return func(t *Test) bool { return t.Network == n }
+}
+
+// ByKind filters on the test kind.
+func ByKind(kinds ...Kind) func(*Test) bool {
+	return func(t *Test) bool {
+		for _, k := range kinds {
+			if t.Kind == k {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ByArea filters on the majority area type.
+func ByArea(a geo.AreaType) func(*Test) bool {
+	return func(t *Test) bool { return t.Area == a }
+}
+
+// Throughputs extracts the throughput of each test.
+func Throughputs(tests []*Test) []float64 {
+	out := make([]float64, len(tests))
+	for i, t := range tests {
+		out[i] = t.ThroughputMbps
+	}
+	return out
+}
+
+// SampleCountByArea counts per-second data points per area type across
+// all drives (the paper's 29.78 / 34.30 / 35.91 % split).
+func (ds *Dataset) SampleCountByArea() map[geo.AreaType]int {
+	counts := make(map[geo.AreaType]int)
+	for _, d := range ds.Drives {
+		for _, f := range d.Fixes {
+			counts[f.Area]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"satcell/internal/channel"
+	"satcell/internal/tcp"
+)
+
+// FluidTCP is a per-second fluid approximation of one or more parallel
+// TCP flows over a channel trace: AIMD window dynamics driven by the
+// trace's loss probability and capacity (queue overflow), with slow
+// start and outage handling. It exists because simulating every one of
+// the campaign's thousands of TCP tests at packet level would be
+// needlessly slow; internal/tcp is the ground truth it is validated
+// against (see TestFluidMatchesPacketLevel).
+type FluidTCP struct {
+	// Flows is the number of parallel connections (the paper's "P").
+	Flows int
+	// QueueBytes is the bottleneck buffer assumption (default 1 MB).
+	QueueBytes int
+}
+
+// FluidResult summarises a fluid TCP run.
+type FluidResult struct {
+	MeanGoodputMbps float64
+	GoodputMbps     []float64 // per trace sample
+	RetransRate     float64
+	sentPkts        float64
+	lostPkts        float64
+}
+
+// Run evaluates the model over tr using rng for loss-event draws.
+func (f FluidTCP) Run(tr *channel.Trace, rng *rand.Rand) FluidResult {
+	flows := f.Flows
+	if flows <= 0 {
+		flows = 1
+	}
+	queue := float64(f.QueueBytes)
+	if queue <= 0 {
+		queue = 1 << 20
+	}
+
+	// Per-flow windows in bytes; slow-start thresholds; CUBIC-style
+	// pre-loss window marks for concave catch-up growth.
+	w := make([]float64, flows)
+	ssthresh := make([]float64, flows)
+	wMax := make([]float64, flows)
+	for i := range w {
+		w[i] = 10 * tcp.MSS
+		ssthresh[i] = math.Inf(1)
+	}
+
+	var res FluidResult
+	var sum float64
+	for i, s := range tr.Samples {
+		dt := 1.0
+		if i+1 < len(tr.Samples) {
+			dt = (tr.Samples[i+1].At - s.At).Seconds()
+		}
+		if dt <= 0 {
+			continue
+		}
+		if s.Outage || s.DownMbps <= 0.05 {
+			// Connection stalls; windows collapse to the minimum by
+			// RTOs. Only the first outage second halves ssthresh (no
+			// new flights time out while nothing is being sent); the
+			// RTO probes show up in a tcpdump as retransmissions.
+			for j := range w {
+				if w[j] > 2*tcp.MSS {
+					ssthresh[j] = math.Max(w[j]/2, 2*tcp.MSS)
+					wMax[j] = w[j]
+				}
+				w[j] = 2 * tcp.MSS
+				res.sentPkts += 5
+				res.lostPkts += 4
+			}
+			res.GoodputMbps = append(res.GoodputMbps, 0)
+			continue
+		}
+		rtt := s.RTT.Seconds()
+		if rtt <= 0 {
+			rtt = 0.05
+		}
+		capBps := s.DownMbps * 1e6 / 8 // bytes/s
+		bdp := capBps * rtt
+
+		// Queue overflow desynchronizes parallel flows: droptail hits
+		// the flow bursting hardest, so only the largest window halves
+		// (this is why parallelism keeps the pipe full, §4.2).
+		total := 0.0
+		victim := 0
+		for j, wj := range w {
+			total += wj
+			if wj > w[victim] {
+				victim = j
+			}
+		}
+		if total > bdp+queue {
+			wMax[victim] = w[victim]
+			ssthresh[victim] = math.Max(w[victim]/2, 2*tcp.MSS)
+			w[victim] = ssthresh[victim]
+			res.lostPkts += 2
+		}
+
+		goodput := 0.0
+		for j := range w {
+			share := capBps / float64(flows)
+			rate := math.Min(w[j]/rtt, share+math.Max(0, capBps-usedCap(w, rtt, capBps, j)))
+			rate = math.Min(rate, capBps)
+			pkts := rate * dt / tcp.MSS
+			res.sentPkts += pkts
+
+			// Random-loss episodes: all losses within one RTT collapse
+			// into a single halving (SACK recovery). Episodes are drawn
+			// sequentially because each halving reduces the rate and so
+			// the chance of further losses within the same second. A
+			// Burst second (handover gap) is exactly one episode.
+			halvings := 0
+			if s.Burst {
+				halvings = 1
+			} else if s.LossDown > 0 {
+				remaining := dt
+				wNow := w[j]
+				for halvings < 6 {
+					rateNow := math.Min(wNow/rtt, capBps)
+					perRTT := 1 - math.Exp(-rateNow*rtt/tcp.MSS*s.LossDown)
+					if perRTT <= 1e-9 {
+						break
+					}
+					tNext := rtt / perRTT * rng.ExpFloat64()
+					if tNext > remaining {
+						break
+					}
+					remaining -= tNext
+					wNow = math.Max(wNow/2, 2*tcp.MSS)
+					halvings++
+				}
+			}
+			res.lostPkts += pkts * s.LossDown
+
+			switch {
+			case halvings > 0:
+				wMax[j] = w[j]
+				for h := 0; h < halvings; h++ {
+					ssthresh[j] = math.Max(w[j]/2, 2*tcp.MSS)
+					w[j] = ssthresh[j]
+				}
+			case w[j] < ssthresh[j]:
+				// Slow start: double per RTT, capped by ssthresh.
+				w[j] = math.Min(w[j]*math.Pow(2, dt/rtt), ssthresh[j])
+				if math.IsInf(ssthresh[j], 1) {
+					// Delay-based exit once the BDP share is reached.
+					limit := (bdp + 0.2*queue) / float64(flows)
+					if w[j] > limit {
+						w[j] = limit
+						ssthresh[j] = limit
+					}
+				}
+			default:
+				// Congestion avoidance. Modern stacks (CUBIC) climb
+				// back toward the pre-loss window concavely within a
+				// few seconds, then probe Reno-style beyond it.
+				growth := tcp.MSS * dt / rtt
+				if w[j] < wMax[j] {
+					catchUp := (wMax[j] - w[j]) * (1 - math.Exp(-dt/3))
+					if catchUp > growth {
+						growth = catchUp
+					}
+				}
+				w[j] += growth
+			}
+			// The window cannot outgrow the pipe plus buffer share.
+			w[j] = math.Min(w[j], (bdp+queue)/float64(flows)*1.5)
+			goodput += rate * (1 - s.LossDown)
+		}
+		goodput = math.Min(goodput, capBps)
+		mbps := goodput * 8 / 1e6
+		res.GoodputMbps = append(res.GoodputMbps, mbps)
+		sum += mbps * dt
+	}
+	if d := tr.Duration().Seconds(); d > 0 {
+		res.MeanGoodputMbps = sum / d
+	}
+	if res.sentPkts > 0 {
+		res.RetransRate = res.lostPkts / res.sentPkts
+		if res.RetransRate > 1 {
+			res.RetransRate = 1
+		}
+	}
+	return res
+}
+
+// usedCap sums the offered rate of all flows except j.
+func usedCap(w []float64, rtt, capBps float64, j int) float64 {
+	used := 0.0
+	for k, wk := range w {
+		if k == j {
+			continue
+		}
+		used += math.Min(wk/rtt, capBps)
+	}
+	return used
+}

@@ -1,0 +1,176 @@
+package emu
+
+import (
+	"math/rand"
+	"time"
+)
+
+// MTU is the maximum packet size carried by emulated links, matching the
+// Ethernet MTU the field tools observe.
+const MTU = 1500
+
+// Packet is the unit of transfer on emulated links. Handler is carried
+// opaquely to the receiver; links never inspect it.
+type Packet struct {
+	Flow    int           // flow identifier, chosen by the transport
+	Seq     int64         // transport-assigned sequence number
+	Size    int           // bytes on the wire
+	SentAt  time.Duration // set by the link when the packet enters the queue
+	Payload any           // transport-specific contents
+}
+
+// RateFunc returns the instantaneous link capacity in Mbps at virtual
+// time t. Returning 0 means the link is in outage.
+type RateFunc func(t time.Duration) float64
+
+// ConstantRate returns a RateFunc with a fixed capacity.
+func ConstantRate(mbps float64) RateFunc {
+	return func(time.Duration) float64 { return mbps }
+}
+
+// DelayFunc returns the one-way propagation delay at virtual time t.
+type DelayFunc func(t time.Duration) time.Duration
+
+// ConstantDelay returns a fixed propagation delay.
+func ConstantDelay(d time.Duration) DelayFunc {
+	return func(time.Duration) time.Duration { return d }
+}
+
+// LossFunc decides whether a packet is randomly lost on the wire at
+// virtual time t (after surviving the queue).
+type LossFunc func(t time.Duration, p *Packet) bool
+
+// NoLoss never drops packets.
+func NoLoss(time.Duration, *Packet) bool { return false }
+
+// ProbLoss drops packets with probability probAt(t), using r.
+func ProbLoss(r *rand.Rand, probAt func(t time.Duration) float64) LossFunc {
+	return func(t time.Duration, _ *Packet) bool {
+		p := probAt(t)
+		return p > 0 && r.Float64() < p
+	}
+}
+
+// LinkStats counts what happened on a link.
+type LinkStats struct {
+	Enqueued       int64
+	QueueDrops     int64 // droptail discards
+	RandomLosses   int64 // wire losses
+	Delivered      int64
+	DeliveredBytes int64
+}
+
+// LinkConfig configures one unidirectional link.
+type LinkConfig struct {
+	Rate  RateFunc
+	Delay DelayFunc
+	Loss  LossFunc
+	// QueueBytes is the droptail buffer limit. Zero means the default
+	// (a generous 400 kB, in line with the deep buffers of real access
+	// links).
+	QueueBytes int
+}
+
+// outagePollInterval is how long a link waits before re-checking the
+// rate when capacity is (near) zero.
+const outagePollInterval = 20 * time.Millisecond
+
+// minRateMbps guards the serialization-time computation against a zero
+// rate; anything below this is treated as outage.
+const minRateMbps = 0.01
+
+// Link is a unidirectional trace-shaped pipe: droptail queue -> variable
+// rate serializer -> random loss gate -> propagation delay -> receiver.
+type Link struct {
+	eng     *Engine
+	cfg     LinkConfig
+	deliver func(*Packet)
+
+	queue        []*Packet
+	queueBytes   int
+	busy         bool
+	lastDelivery time.Duration // enforces FIFO across varying delay
+	stats        LinkStats
+}
+
+// NewLink creates a link inside eng delivering packets to deliver.
+func NewLink(eng *Engine, cfg LinkConfig, deliver func(*Packet)) *Link {
+	if cfg.Rate == nil {
+		cfg.Rate = ConstantRate(100)
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = ConstantDelay(0)
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = NoLoss
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = 400 * 1024
+	}
+	return &Link{eng: eng, cfg: cfg, deliver: deliver}
+}
+
+// Stats returns the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueBytes returns the bytes currently waiting in the buffer.
+func (l *Link) QueueBytes() int { return l.queueBytes }
+
+// Send enqueues a packet, applying droptail when the buffer is full.
+// It reports whether the packet was accepted.
+func (l *Link) Send(p *Packet) bool {
+	if l.queueBytes+p.Size > l.cfg.QueueBytes {
+		l.stats.QueueDrops++
+		return false
+	}
+	p.SentAt = l.eng.Now()
+	l.queue = append(l.queue, p)
+	l.queueBytes += p.Size
+	l.stats.Enqueued++
+	if !l.busy {
+		l.busy = true
+		l.serveNext()
+	}
+	return true
+}
+
+// serveNext begins transmitting the head-of-line packet.
+func (l *Link) serveNext() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	rate := l.cfg.Rate(l.eng.Now())
+	if rate < minRateMbps {
+		// Outage: hold the queue and poll for capacity to return.
+		l.eng.Schedule(outagePollInterval, l.serveNext)
+		return
+	}
+	p := l.queue[0]
+	txTime := time.Duration(float64(p.Size*8) / (rate * 1e6) * float64(time.Second))
+	l.eng.Schedule(txTime, func() { l.finishTx(p) })
+}
+
+// finishTx completes the serialization of p, applies the loss gate, and
+// hands the packet to the propagation delay stage.
+func (l *Link) finishTx(p *Packet) {
+	l.queue = l.queue[1:]
+	l.queueBytes -= p.Size
+	if l.cfg.Loss(l.eng.Now(), p) {
+		l.stats.RandomLosses++
+	} else {
+		// A shrinking delay must not reorder packets: deliver no
+		// earlier than the previous delivery (FIFO pipe semantics).
+		at := l.eng.Now() + l.cfg.Delay(l.eng.Now())
+		if at < l.lastDelivery {
+			at = l.lastDelivery
+		}
+		l.lastDelivery = at
+		l.eng.ScheduleAt(at, func() {
+			l.stats.Delivered++
+			l.stats.DeliveredBytes += int64(p.Size)
+			l.deliver(p)
+		})
+	}
+	l.serveNext()
+}

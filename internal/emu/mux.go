@@ -1,0 +1,47 @@
+package emu
+
+import (
+	"satcell/internal/channel"
+)
+
+// FlowMux routes delivered packets to per-flow handlers, so multiple
+// transport connections can share one emulated link (parallel iPerf
+// streams, MPTCP subflows, data + ACK traffic).
+type FlowMux struct {
+	handlers map[int]func(*Packet)
+}
+
+// NewFlowMux returns an empty mux.
+func NewFlowMux() *FlowMux {
+	return &FlowMux{handlers: make(map[int]func(*Packet))}
+}
+
+// Register installs the handler for a flow, replacing any previous one.
+func (m *FlowMux) Register(flow int, h func(*Packet)) { m.handlers[flow] = h }
+
+// Unregister removes a flow's handler.
+func (m *FlowMux) Unregister(flow int) { delete(m.handlers, flow) }
+
+// Deliver dispatches p to its flow handler; packets for unknown flows
+// are dropped silently (like traffic to a closed port).
+func (m *FlowMux) Deliver(p *Packet) {
+	if h, ok := m.handlers[p.Flow]; ok {
+		h(p)
+	}
+}
+
+// DuplexPath bundles a trace-driven Path with flow muxes on both
+// directions; transports register their receive hooks per flow.
+type DuplexPath struct {
+	*Path
+	DownMux *FlowMux // receives what the downlink delivers (client side)
+	UpMux   *FlowMux // receives what the uplink delivers (server side)
+}
+
+// NewDuplexPath builds a muxed bidirectional path replaying tr.
+func NewDuplexPath(eng *Engine, tr *channel.Trace, cfg PathConfig) *DuplexPath {
+	down := NewFlowMux()
+	up := NewFlowMux()
+	p := NewPath(eng, tr, cfg, down.Deliver, up.Deliver)
+	return &DuplexPath{Path: p, DownMux: down, UpMux: up}
+}

@@ -1,0 +1,68 @@
+package emu
+
+import (
+	"math/rand"
+	"time"
+
+	"satcell/internal/channel"
+)
+
+// Path is a bidirectional emulated network path built from a channel
+// trace: the downlink and uplink are independently shaped links whose
+// rate, delay and loss follow the replayed samples, exactly as MpShell
+// replays the paper's driving traces (§6).
+type Path struct {
+	Trace *channel.Trace
+	Down  *Link
+	Up    *Link
+}
+
+// PathConfig tunes the trace replay.
+type PathConfig struct {
+	// QueueBytes is the droptail buffer of each direction (0 = default).
+	QueueBytes int
+	// Seed drives the stochastic loss gates.
+	Seed int64
+	// Loop repeats the trace when the simulation runs past its end;
+	// otherwise conditions freeze at the final sample.
+	Loop bool
+}
+
+// NewPath builds a Path inside eng replaying tr. deliverDown receives
+// packets sent through the downlink (server -> client), deliverUp those
+// sent through the uplink (client -> server).
+func NewPath(eng *Engine, tr *channel.Trace, cfg PathConfig, deliverDown, deliverUp func(*Packet)) *Path {
+	at := func(t time.Duration) channel.Sample {
+		if cfg.Loop {
+			if d := tr.Duration(); d > 0 {
+				t = t % d
+			}
+		}
+		return tr.At(t)
+	}
+	rngDown := rand.New(rand.NewSource(cfg.Seed*2 + 1))
+	rngUp := rand.New(rand.NewSource(cfg.Seed*2 + 2))
+
+	down := NewLink(eng, LinkConfig{
+		Rate:  func(t time.Duration) float64 { return at(t).DownMbps },
+		Delay: func(t time.Duration) time.Duration { return at(t).RTT / 2 },
+		Loss: ProbLoss(rngDown, func(t time.Duration) float64 {
+			return at(t).LossDown
+		}),
+		QueueBytes: cfg.QueueBytes,
+	}, deliverDown)
+
+	up := NewLink(eng, LinkConfig{
+		Rate:  func(t time.Duration) float64 { return at(t).UpMbps },
+		Delay: func(t time.Duration) time.Duration { return at(t).RTT / 2 },
+		Loss: ProbLoss(rngUp, func(t time.Duration) float64 {
+			return at(t).LossUp
+		}),
+		QueueBytes: cfg.QueueBytes,
+	}, deliverUp)
+
+	return &Path{Trace: tr, Down: down, Up: up}
+}
+
+// BaseRTTAt returns the unloaded round-trip time of the path at t.
+func (p *Path) BaseRTTAt(t time.Duration) time.Duration { return p.Trace.At(t).RTT }

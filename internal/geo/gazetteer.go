@@ -1,0 +1,131 @@
+package geo
+
+import "sort"
+
+// AreaType is the paper's three-way geography classification (§5.1).
+type AreaType int
+
+const (
+	Urban AreaType = iota
+	Suburban
+	Rural
+)
+
+// String returns the lower-case name of the area type.
+func (a AreaType) String() string {
+	switch a {
+	case Urban:
+		return "urban"
+	case Suburban:
+		return "suburban"
+	case Rural:
+		return "rural"
+	default:
+		return "unknown"
+	}
+}
+
+// AreaTypes lists the three classifications in order.
+var AreaTypes = []AreaType{Urban, Suburban, Rural}
+
+// City is a gazetteer entry. Population drives the urban-distance
+// thresholds: a data point near a big city counts as urban out to a
+// larger radius than one near a small town.
+type City struct {
+	Name       string
+	State      string
+	Pos        LatLon
+	Population int
+}
+
+// urbanRadiusKm returns the distance within which points near the city
+// classify as urban, scaled with population (a metro core has a larger
+// urban footprint than a small town).
+func (c City) urbanRadiusKm() float64 {
+	switch {
+	case c.Population >= 1_000_000:
+		return 10
+	case c.Population >= 250_000:
+		return 7
+	case c.Population >= 50_000:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// suburbanRadiusKm returns the distance within which points near the city
+// classify as suburban: the belt scales with the city's footprint (a
+// metro's commuter belt is wide; a small town's is a few km).
+func (c City) suburbanRadiusKm() float64 {
+	return c.urbanRadiusKm()*2.5 + 10
+}
+
+// Gazetteer is the list of cities and towns passed through during the
+// drive campaign; the paper compiles exactly such a list and classifies
+// each data point by distance to the nearest entry.
+type Gazetteer struct {
+	cities []City
+}
+
+// NewGazetteer builds a gazetteer from the given cities. The slice is
+// copied.
+func NewGazetteer(cities []City) *Gazetteer {
+	cp := make([]City, len(cities))
+	copy(cp, cities)
+	return &Gazetteer{cities: cp}
+}
+
+// Cities returns the gazetteer entries.
+func (g *Gazetteer) Cities() []City { return g.cities }
+
+// Nearest returns the nearest city to p and its distance in km.
+// ok is false when the gazetteer is empty.
+func (g *Gazetteer) Nearest(p LatLon) (city City, distKm float64, ok bool) {
+	if len(g.cities) == 0 {
+		return City{}, 0, false
+	}
+	best := 0
+	bestD := DistanceKm(p, g.cities[0].Pos)
+	for i := 1; i < len(g.cities); i++ {
+		if d := DistanceKm(p, g.cities[i].Pos); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return g.cities[best], bestD, true
+}
+
+// Classify implements the paper's method: compute the distance from the
+// data point to every listed city/town, take the smallest, and classify
+// with predetermined thresholds. Points in an empty gazetteer are rural.
+//
+// The classification additionally considers the footprint of *every*
+// city, not just the nearest one, so a point 3 km from a small town but
+// 12 km from a metro core is still suburban with respect to the metro.
+func (g *Gazetteer) Classify(p LatLon) AreaType {
+	result := Rural
+	for _, c := range g.cities {
+		d := DistanceKm(p, c.Pos)
+		switch {
+		case d <= c.urbanRadiusKm():
+			return Urban
+		case d <= c.suburbanRadiusKm():
+			result = Suburban
+		}
+	}
+	return result
+}
+
+// States returns the sorted distinct states present in the gazetteer.
+func (g *Gazetteer) States() []string {
+	seen := make(map[string]bool)
+	for _, c := range g.cities {
+		seen[c.State] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,223 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	// Chicago -> Minneapolis is roughly 570 km great-circle.
+	chi := LatLon{41.8781, -87.6298}
+	msp := LatLon{44.9778, -93.2650}
+	d := DistanceKm(chi, msp)
+	if d < 540 || d > 600 {
+		t.Fatalf("Chicago-Minneapolis = %v km, want ~570", d)
+	}
+	if DistanceKm(chi, chi) != 0 {
+		t.Fatal("distance to self should be 0")
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := LatLon{math.Mod(lat1, 90), math.Mod(lon1, 180)}
+		b := LatLon{math.Mod(lat2, 90), math.Mod(lon2, 180)}
+		if math.IsNaN(a.Lat) || math.IsNaN(a.Lon) || math.IsNaN(b.Lat) || math.IsNaN(b.Lon) {
+			return true
+		}
+		d1, d2 := DistanceKm(a, b), DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	start := LatLon{42.0, -85.0}
+	for _, bearing := range []float64{0, 45, 90, 180, 270} {
+		for _, dist := range []float64{1, 10, 100} {
+			end := Destination(start, bearing, dist)
+			got := DistanceKm(start, end)
+			if math.Abs(got-dist) > 0.01*dist+1e-6 {
+				t.Errorf("bearing %v dist %v: travelled %v", bearing, dist, got)
+			}
+		}
+	}
+}
+
+func TestDestinationNorth(t *testing.T) {
+	start := LatLon{40, -90}
+	end := Destination(start, 0, 111.195) // ~1 degree of latitude
+	if math.Abs(end.Lat-41) > 0.01 {
+		t.Fatalf("northward travel lat = %v, want ~41", end.Lat)
+	}
+	if math.Abs(end.Lon-(-90)) > 0.01 {
+		t.Fatalf("northward travel lon = %v, want -90", end.Lon)
+	}
+}
+
+func TestBearing(t *testing.T) {
+	a := LatLon{40, -90}
+	if b := Bearing(a, LatLon{41, -90}); math.Abs(b-0) > 0.5 && math.Abs(b-360) > 0.5 {
+		t.Fatalf("north bearing = %v", b)
+	}
+	if b := Bearing(a, LatLon{40, -89}); math.Abs(b-90) > 1 {
+		t.Fatalf("east bearing = %v", b)
+	}
+}
+
+func TestPolylineInterpolation(t *testing.T) {
+	pts := []LatLon{
+		{42, -85},
+		Destination(LatLon{42, -85}, 90, 10),
+		Destination(Destination(LatLon{42, -85}, 90, 10), 90, 10),
+	}
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pl.LengthKm()-20) > 0.1 {
+		t.Fatalf("length = %v, want ~20", pl.LengthKm())
+	}
+	mid := pl.At(10)
+	if d := DistanceKm(mid, pts[1]); d > 0.1 {
+		t.Fatalf("At(10) is %v km from expected vertex", d)
+	}
+	// Clamping.
+	if pl.At(-5) != pts[0] {
+		t.Fatal("At(-5) should clamp to start")
+	}
+	if pl.At(1000) != pts[2] {
+		t.Fatal("At(+inf) should clamp to end")
+	}
+}
+
+func TestPolylineMonotoneProperty(t *testing.T) {
+	pts := []LatLon{{42, -85}}
+	p := pts[0]
+	for i := 0; i < 20; i++ {
+		p = Destination(p, float64(i*37%360), 3)
+		pts = append(pts, p)
+	}
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(d1, d2 float64) bool {
+		d1 = math.Abs(math.Mod(d1, pl.LengthKm()))
+		d2 = math.Abs(math.Mod(d2, pl.LengthKm()))
+		if math.IsNaN(d1) || math.IsNaN(d2) {
+			return true
+		}
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		// Travelling further along the line cannot move you further than
+		// the extra path distance (triangle inequality on the path).
+		a, b := pl.At(d1), pl.At(d2)
+		return DistanceKm(a, b) <= (d2-d1)+0.05
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolylineErrors(t *testing.T) {
+	if _, err := NewPolyline([]LatLon{{1, 1}}); err == nil {
+		t.Fatal("expected error for single-point polyline")
+	}
+}
+
+func TestPolylineSegmentIndex(t *testing.T) {
+	pts := []LatLon{
+		{42, -85},
+		Destination(LatLon{42, -85}, 90, 10),
+		Destination(Destination(LatLon{42, -85}, 90, 10), 90, 10),
+	}
+	pl, _ := NewPolyline(pts)
+	if got := pl.SegmentIndex(5); got != 0 {
+		t.Fatalf("SegmentIndex(5) = %d", got)
+	}
+	if got := pl.SegmentIndex(15); got != 1 {
+		t.Fatalf("SegmentIndex(15) = %d", got)
+	}
+	if got := pl.SegmentIndex(-1); got != 0 {
+		t.Fatalf("SegmentIndex(-1) = %d", got)
+	}
+	if got := pl.SegmentIndex(100); got != 1 {
+		t.Fatalf("SegmentIndex(100) = %d", got)
+	}
+}
+
+func TestAreaTypeString(t *testing.T) {
+	if Urban.String() != "urban" || Suburban.String() != "suburban" || Rural.String() != "rural" {
+		t.Fatal("AreaType names wrong")
+	}
+	if AreaType(99).String() != "unknown" {
+		t.Fatal("unknown AreaType should stringify as unknown")
+	}
+}
+
+func TestGazetteerClassify(t *testing.T) {
+	g := DefaultGazetteer()
+	chicago := LatLon{41.8781, -87.6298}
+	if got := g.Classify(chicago); got != Urban {
+		t.Fatalf("downtown Chicago = %v, want urban", got)
+	}
+	// ~25 km west of Chicago: inside the metro suburban belt.
+	suburb := Destination(chicago, 270, 25)
+	if got := g.Classify(suburb); got != Suburban {
+		t.Fatalf("Chicago suburb = %v, want suburban", got)
+	}
+	// Middle of nowhere in central Wisconsin farmland.
+	rural := LatLon{44.35, -90.8}
+	if got := g.Classify(rural); got != Rural {
+		t.Fatalf("central WI = %v, want rural", got)
+	}
+}
+
+func TestGazetteerNearest(t *testing.T) {
+	g := DefaultGazetteer()
+	city, d, ok := g.Nearest(LatLon{42.28, -83.74})
+	if !ok || city.Name != "Ann Arbor" {
+		t.Fatalf("nearest = %v (ok=%v)", city.Name, ok)
+	}
+	if d > 1 {
+		t.Fatalf("distance to Ann Arbor = %v", d)
+	}
+	empty := NewGazetteer(nil)
+	if _, _, ok := empty.Nearest(LatLon{0, 0}); ok {
+		t.Fatal("empty gazetteer should report !ok")
+	}
+	if got := empty.Classify(LatLon{0, 0}); got != Rural {
+		t.Fatalf("empty gazetteer classification = %v, want rural", got)
+	}
+}
+
+func TestGazetteerStates(t *testing.T) {
+	g := DefaultGazetteer()
+	states := g.States()
+	if len(states) != 5 {
+		t.Fatalf("states = %v, want 5 states", states)
+	}
+	want := []string{"IL", "IN", "MI", "MN", "WI"}
+	for i, s := range want {
+		if states[i] != s {
+			t.Fatalf("states = %v, want %v", states, want)
+		}
+	}
+}
+
+func TestSmallTownFootprint(t *testing.T) {
+	g := DefaultGazetteer()
+	// Tomah, WI is a small town: its centre is urban only within ~2 km.
+	tomah := LatLon{43.9786, -90.5040}
+	if got := g.Classify(tomah); got != Urban {
+		t.Fatalf("Tomah centre = %v, want urban", got)
+	}
+	if got := g.Classify(Destination(tomah, 0, 5)); got != Suburban {
+		t.Fatalf("5 km out of Tomah = %v, want suburban", got)
+	}
+}

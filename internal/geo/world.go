@@ -1,0 +1,36 @@
+package geo
+
+// DefaultGazetteer returns the synthetic drive-world gazetteer: the
+// cities and towns along a Michigan → Minnesota corridor spanning five
+// US states (MI, IN, IL, WI, MN), mirroring the paper's five-state field
+// trip. Coordinates approximate the real places; populations are rounded
+// and only drive the urban/suburban footprint radii.
+func DefaultGazetteer() *Gazetteer {
+	return NewGazetteer([]City{
+		// Michigan
+		{Name: "Detroit", State: "MI", Pos: LatLon{42.3314, -83.0458}, Population: 1_500_000},
+		{Name: "Ann Arbor", State: "MI", Pos: LatLon{42.2808, -83.7430}, Population: 120_000},
+		{Name: "Jackson", State: "MI", Pos: LatLon{42.2459, -84.4013}, Population: 31_000},
+		{Name: "Battle Creek", State: "MI", Pos: LatLon{42.3212, -85.1797}, Population: 52_000},
+		{Name: "Kalamazoo", State: "MI", Pos: LatLon{42.2917, -85.5872}, Population: 73_000},
+		{Name: "Benton Harbor", State: "MI", Pos: LatLon{42.1167, -86.4542}, Population: 9_000},
+		// Indiana
+		{Name: "Michigan City", State: "IN", Pos: LatLon{41.7075, -86.8950}, Population: 31_000},
+		{Name: "Gary", State: "IN", Pos: LatLon{41.5934, -87.3464}, Population: 68_000},
+		// Illinois
+		{Name: "Chicago", State: "IL", Pos: LatLon{41.8781, -87.6298}, Population: 2_700_000},
+		{Name: "Rockford", State: "IL", Pos: LatLon{42.2711, -89.0940}, Population: 148_000},
+		// Wisconsin
+		{Name: "Milwaukee", State: "WI", Pos: LatLon{43.0389, -87.9065}, Population: 570_000},
+		{Name: "Madison", State: "WI", Pos: LatLon{43.0731, -89.4012}, Population: 270_000},
+		{Name: "Wisconsin Dells", State: "WI", Pos: LatLon{43.6275, -89.7710}, Population: 3_000},
+		{Name: "Tomah", State: "WI", Pos: LatLon{43.9786, -90.5040}, Population: 9_000},
+		{Name: "Eau Claire", State: "WI", Pos: LatLon{44.8113, -91.4985}, Population: 69_000},
+		{Name: "Menomonie", State: "WI", Pos: LatLon{44.8755, -91.9193}, Population: 16_000},
+		// Minnesota
+		{Name: "Minneapolis", State: "MN", Pos: LatLon{44.9778, -93.2650}, Population: 1_200_000},
+		{Name: "St. Paul", State: "MN", Pos: LatLon{44.9537, -93.0900}, Population: 310_000},
+		{Name: "Rochester", State: "MN", Pos: LatLon{44.0121, -92.4802}, Population: 121_000},
+		{Name: "St. Cloud", State: "MN", Pos: LatLon{45.5579, -94.1632}, Population: 69_000},
+	})
+}

@@ -1,0 +1,340 @@
+// Package leo models the LEO satellite side of the study: a
+// Starlink-like Walker constellation with real circular-orbit geometry,
+// a user-terminal model for the two plans the paper measures (Roam and
+// Mobility), an area-dependent sky-obstruction process, and a channel
+// sampler implementing channel.Model.
+package leo
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"satcell/internal/geo"
+)
+
+// Physical constants.
+const (
+	earthRadiusKm   = 6371.0
+	earthMuKm3S2    = 398600.4418  // gravitational parameter, km^3/s^2
+	earthRotRadPerS = 7.2921159e-5 // sidereal rotation rate
+	// SpeedOfLightKmS is the propagation speed used by Eq. (1) of the
+	// paper (vacuum speed of light, km/s).
+	SpeedOfLightKmS = 299792.0
+)
+
+// OneWayPropagation implements Eq. (1): the one-way satellite-to-ground
+// propagation delay for a satellite directly overhead at the given
+// altitude. For Starlink's 550 km shell this is ~1.835 ms.
+func OneWayPropagation(altitudeKm float64) time.Duration {
+	seconds := altitudeKm / SpeedOfLightKmS
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// SlantRTT returns the round-trip propagation delay over a bent-pipe hop
+// (user -> satellite -> user) with the given slant range.
+func SlantRTT(slantKm float64) time.Duration {
+	seconds := 2 * slantKm / SpeedOfLightKmS
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Shell describes one Walker-delta constellation shell.
+type Shell struct {
+	AltitudeKm     float64
+	InclinationDeg float64
+	Planes         int
+	SatsPerPlane   int
+	PhasingF       int // Walker phasing factor (inter-plane phase offset)
+}
+
+// StarlinkShell returns the first (and largest) Starlink shell: 72 planes
+// of 22 satellites at 550 km, 53° inclination.
+func StarlinkShell() Shell {
+	return Shell{AltitudeKm: 550, InclinationDeg: 53, Planes: 72, SatsPerPlane: 22, PhasingF: 39}
+}
+
+// PeriodSeconds returns the orbital period of the shell.
+func (s Shell) PeriodSeconds() float64 {
+	a := earthRadiusKm + s.AltitudeKm
+	return 2 * math.Pi * math.Sqrt(a*a*a/earthMuKm3S2)
+}
+
+type satParams struct {
+	raan  float64 // right ascension of ascending node, radians
+	phase float64 // mean anomaly at t=0, radians
+}
+
+// Constellation propagates a shell of satellites on circular orbits and
+// answers visibility queries from ground positions.
+type Constellation struct {
+	shell  Shell
+	sats   []satParams
+	names  []string
+	period float64
+	incRad float64
+	radius float64
+}
+
+// NewConstellation builds the satellite set for a shell.
+func NewConstellation(shell Shell) *Constellation {
+	n := shell.Planes * shell.SatsPerPlane
+	c := &Constellation{
+		shell:  shell,
+		sats:   make([]satParams, 0, n),
+		names:  make([]string, 0, n),
+		period: shell.PeriodSeconds(),
+		incRad: shell.InclinationDeg * math.Pi / 180,
+		radius: earthRadiusKm + shell.AltitudeKm,
+	}
+	for p := 0; p < shell.Planes; p++ {
+		raan := 2 * math.Pi * float64(p) / float64(shell.Planes)
+		interPlane := 2 * math.Pi * float64(shell.PhasingF) * float64(p) /
+			float64(shell.Planes*shell.SatsPerPlane)
+		for s := 0; s < shell.SatsPerPlane; s++ {
+			phase := 2*math.Pi*float64(s)/float64(shell.SatsPerPlane) + interPlane
+			c.sats = append(c.sats, satParams{raan: raan, phase: phase})
+			c.names = append(c.names, fmt.Sprintf("SL-%02d-%02d", p, s))
+		}
+	}
+	return c
+}
+
+// Size returns the number of satellites.
+func (c *Constellation) Size() int { return len(c.sats) }
+
+// Shell returns the shell parameters.
+func (c *Constellation) Shell() Shell { return c.shell }
+
+type vec3 struct{ x, y, z float64 }
+
+func (v vec3) sub(o vec3) vec3      { return vec3{v.x - o.x, v.y - o.y, v.z - o.z} }
+func (v vec3) dot(o vec3) float64   { return v.x*o.x + v.y*o.y + v.z*o.z }
+func (v vec3) norm() float64        { return math.Sqrt(v.dot(v)) }
+func (v vec3) scale(k float64) vec3 { return vec3{v.x * k, v.y * k, v.z * k} }
+
+// satECI returns the ECI position of satellite i at time t (seconds).
+func (c *Constellation) satECI(i int, t float64) vec3 {
+	sp := c.sats[i]
+	theta := sp.phase + 2*math.Pi*t/c.period // argument of latitude
+	cosT, sinT := math.Cos(theta), math.Sin(theta)
+	cosO, sinO := math.Cos(sp.raan), math.Sin(sp.raan)
+	cosI, sinI := math.Cos(c.incRad), math.Sin(c.incRad)
+	return vec3{
+		x: c.radius * (cosO*cosT - sinO*sinT*cosI),
+		y: c.radius * (sinO*cosT + cosO*sinT*cosI),
+		z: c.radius * (sinT * sinI),
+	}
+}
+
+// userECI returns the ECI position of a ground point at time t, applying
+// Earth rotation.
+func userECI(p geo.LatLon, t float64) vec3 {
+	lat := p.Lat * math.Pi / 180
+	lon := p.Lon*math.Pi/180 + earthRotRadPerS*t
+	cl := math.Cos(lat)
+	return vec3{
+		x: earthRadiusKm * cl * math.Cos(lon),
+		y: earthRadiusKm * cl * math.Sin(lon),
+		z: earthRadiusKm * math.Sin(lat),
+	}
+}
+
+// SatView describes one visible satellite from a ground position.
+type SatView struct {
+	Index        int
+	ID           string
+	ElevationDeg float64
+	AzimuthDeg   float64
+	SlantRangeKm float64
+}
+
+// Visible returns all satellites above minElevDeg as seen from user at
+// time offset at. Results are unordered.
+func (c *Constellation) Visible(user geo.LatLon, at time.Duration, minElevDeg float64) []SatView {
+	t := at.Seconds()
+	u := userECI(user, t)
+	uHat := u.scale(1 / u.norm())
+	// Pre-filter: a satellite above minElev must be within a central
+	// angle bound of the user; use the dot product of unit position
+	// vectors against a conservative cosine threshold.
+	minEl := minElevDeg * math.Pi / 180
+	// Central angle for elevation el: psi = acos(Re/r * cos(el)) - el.
+	psiMax := math.Acos(earthRadiusKm/c.radius*math.Cos(minEl)) - minEl
+	cosPsiMax := math.Cos(psiMax)
+
+	var out []SatView
+	for i := range c.sats {
+		s := c.satECI(i, t)
+		sHat := s.scale(1 / c.radius)
+		if sHat.dot(uHat) < cosPsiMax {
+			continue
+		}
+		d := s.sub(u)
+		dist := d.norm()
+		sinEl := d.dot(uHat) / dist
+		el := math.Asin(math.Max(-1, math.Min(1, sinEl)))
+		if el < minEl {
+			continue
+		}
+		out = append(out, SatView{
+			Index:        i,
+			ID:           c.names[i],
+			ElevationDeg: el * 180 / math.Pi,
+			AzimuthDeg:   azimuth(uHat, u, d),
+			SlantRangeKm: dist,
+		})
+	}
+	return out
+}
+
+// azimuth computes the compass azimuth of the direction vector d as seen
+// from the user position u (both in ECI at the same instant).
+func azimuth(uHat, u, d vec3) float64 {
+	// Local East-North-Up basis at the user point. Up is uHat; East is
+	// the horizontal direction of increasing longitude.
+	east := vec3{-u.y, u.x, 0}
+	en := east.norm()
+	if en == 0 {
+		return 0 // at the poles azimuth is degenerate
+	}
+	east = east.scale(1 / en)
+	// North = Up x East.
+	north := vec3{
+		uHat.y*east.z - uHat.z*east.y,
+		uHat.z*east.x - uHat.x*east.z,
+		uHat.x*east.y - uHat.y*east.x,
+	}
+	e := d.dot(east)
+	n := d.dot(north)
+	az := math.Atan2(e, n) * 180 / math.Pi
+	if az < 0 {
+		az += 360
+	}
+	return az
+}
+
+// View recomputes the current geometry of satellite i from user at time
+// offset at, regardless of elevation.
+func (c *Constellation) View(i int, user geo.LatLon, at time.Duration) SatView {
+	t := at.Seconds()
+	u := userECI(user, t)
+	uHat := u.scale(1 / u.norm())
+	s := c.satECI(i, t)
+	d := s.sub(u)
+	dist := d.norm()
+	sinEl := d.dot(uHat) / dist
+	el := math.Asin(math.Max(-1, math.Min(1, sinEl)))
+	return SatView{
+		Index:        i,
+		ID:           c.names[i],
+		ElevationDeg: el * 180 / math.Pi,
+		AzimuthDeg:   azimuth(uHat, u, d),
+		SlantRangeKm: dist,
+	}
+}
+
+// Best returns the highest-elevation visible satellite, preferring any
+// that passes the keep predicate (e.g. "not obstructed"). If no visible
+// satellite passes keep, ok is false and the highest obstructed view is
+// returned for diagnostics.
+func (c *Constellation) Best(user geo.LatLon, at time.Duration, minElevDeg float64, keep func(SatView) bool) (best SatView, ok bool) {
+	views := c.Visible(user, at, minElevDeg)
+	bestAny := SatView{Index: -1, ElevationDeg: -90}
+	bestKept := SatView{Index: -1, ElevationDeg: -90}
+	for _, v := range views {
+		if v.ElevationDeg > bestAny.ElevationDeg {
+			bestAny = v
+		}
+		if (keep == nil || keep(v)) && v.ElevationDeg > bestKept.ElevationDeg {
+			bestKept = v
+		}
+	}
+	if bestKept.Index >= 0 {
+		return bestKept, true
+	}
+	return bestAny, false
+}
+
+// StarlinkShells returns the full first-generation Starlink constellation
+// (the five shells of the Gen1 FCC filing). The paper's measurements ran
+// when the 53° shell carried almost all traffic, so StarlinkShell()
+// remains the default; the full set supports coverage studies at higher
+// latitudes.
+func StarlinkShells() []Shell {
+	return []Shell{
+		{AltitudeKm: 550, InclinationDeg: 53, Planes: 72, SatsPerPlane: 22, PhasingF: 39},
+		{AltitudeKm: 540, InclinationDeg: 53.2, Planes: 72, SatsPerPlane: 22, PhasingF: 41},
+		{AltitudeKm: 570, InclinationDeg: 70, Planes: 36, SatsPerPlane: 20, PhasingF: 11},
+		{AltitudeKm: 560, InclinationDeg: 97.6, Planes: 6, SatsPerPlane: 58, PhasingF: 1},
+		{AltitudeKm: 560, InclinationDeg: 97.6, Planes: 4, SatsPerPlane: 43, PhasingF: 1},
+	}
+}
+
+// MergeConstellations builds a single constellation containing every
+// satellite of the given shells (satellites keep per-shell orbital
+// parameters; names are prefixed with the shell index).
+func MergeConstellations(shells []Shell) []*Constellation {
+	out := make([]*Constellation, len(shells))
+	for i, sh := range shells {
+		out[i] = NewConstellation(sh)
+	}
+	return out
+}
+
+// passScanStep is the granularity of pass-duration scans.
+const passScanStep = 5 * time.Second
+
+// maxPassScan bounds pass-duration scans (an overhead pass of a 550 km
+// satellite lasts well under 10 minutes above 25°).
+const maxPassScan = 20 * time.Minute
+
+// PassRemaining returns how long satellite i stays above minElevDeg as
+// seen from user, starting at time offset at. It returns 0 if the
+// satellite is already below the threshold.
+func (c *Constellation) PassRemaining(i int, user geo.LatLon, at time.Duration, minElevDeg float64) time.Duration {
+	if c.View(i, user, at).ElevationDeg < minElevDeg {
+		return 0
+	}
+	for d := passScanStep; d <= maxPassScan; d += passScanStep {
+		if c.View(i, user, at+d).ElevationDeg < minElevDeg {
+			return d - passScanStep
+		}
+	}
+	return maxPassScan
+}
+
+// MeanPassDuration estimates the mean full-pass duration above
+// minElevDeg at the user's latitude by sampling passes over the given
+// horizon — the quantity analysed by tractable pass-duration models for
+// dense constellations.
+func (c *Constellation) MeanPassDuration(user geo.LatLon, horizon time.Duration, minElevDeg float64) time.Duration {
+	type passState struct{ above bool }
+	states := make(map[int]*passState)
+	starts := make(map[int]time.Duration)
+	var total time.Duration
+	var count int
+	for at := time.Duration(0); at <= horizon; at += passScanStep {
+		for _, v := range c.Visible(user, at, minElevDeg) {
+			st := states[v.Index]
+			if st == nil {
+				states[v.Index] = &passState{above: true}
+				starts[v.Index] = at
+			}
+		}
+		for idx, st := range states {
+			if !st.above {
+				continue
+			}
+			if c.View(idx, user, at).ElevationDeg < minElevDeg {
+				total += at - starts[idx]
+				count++
+				delete(states, idx)
+				delete(starts, idx)
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / time.Duration(count)
+}

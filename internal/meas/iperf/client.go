@@ -1,0 +1,351 @@
+package iperf
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ClientConfig describes one test run.
+type ClientConfig struct {
+	Addr     string        // server address (host:port)
+	Proto    Proto         // TCP or UDP
+	Dir      Direction     // Download or Upload
+	Duration time.Duration // test length; default 10 s
+	Parallel int           // parallel TCP streams; default 1
+	RateMbps float64       // UDP target rate; default 100
+	Interval time.Duration // progress-report interval; default 1 s
+}
+
+func (c *ClientConfig) defaults() {
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = 1
+	}
+	if c.RateMbps <= 0 {
+		c.RateMbps = 100
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Proto == "" {
+		c.Proto = TCP
+	}
+	if c.Dir == "" {
+		c.Dir = Download
+	}
+}
+
+// Run executes one test against a Server.
+func Run(ctx context.Context, cfg ClientConfig) (*Result, error) {
+	cfg.defaults()
+	switch cfg.Proto {
+	case TCP:
+		return runTCP(ctx, cfg)
+	case UDP:
+		return runUDP(ctx, cfg)
+	default:
+		return nil, fmt.Errorf("iperf: unknown proto %q", cfg.Proto)
+	}
+}
+
+// intervalCounter tracks progress reports across streams.
+type intervalCounter struct {
+	mu       sync.Mutex
+	start    time.Time
+	interval time.Duration
+	buckets  []int64
+}
+
+func newIntervalCounter(interval time.Duration) *intervalCounter {
+	return &intervalCounter{start: time.Now(), interval: interval}
+}
+
+func (ic *intervalCounter) add(n int64) {
+	ic.mu.Lock()
+	idx := int(time.Since(ic.start) / ic.interval)
+	for len(ic.buckets) <= idx {
+		ic.buckets = append(ic.buckets, 0)
+	}
+	ic.buckets[idx] += n
+	ic.mu.Unlock()
+}
+
+func (ic *intervalCounter) reports() []IntervalReport {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	out := make([]IntervalReport, len(ic.buckets))
+	for i, b := range ic.buckets {
+		out[i] = IntervalReport{
+			Start: time.Duration(i) * ic.interval,
+			Bytes: b,
+			Mbps:  float64(b*8) / ic.interval.Seconds() / 1e6,
+		}
+	}
+	return out
+}
+
+func runTCP(ctx context.Context, cfg ClientConfig) (*Result, error) {
+	res := &Result{Proto: TCP, Dir: cfg.Dir, Parallel: cfg.Parallel}
+	ic := newIntervalCounter(cfg.Interval)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		results  []StreamResult
+		firstErr error
+	)
+	for i := 0; i < cfg.Parallel; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sr, err := runTCPStream(ctx, cfg, id, ic)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			results = append(results, sr)
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	total := 0.0
+	for _, sr := range results {
+		total += sr.Mbps
+	}
+	res.Streams = results
+	res.TotalMbps = total
+	res.Intervals = ic.reports()
+	return res, nil
+}
+
+func runTCPStream(ctx context.Context, cfg ClientConfig, id int, ic *intervalCounter) (StreamResult, error) {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return StreamResult{}, fmt.Errorf("iperf: dial: %w", err)
+	}
+	defer conn.Close()
+	hello, _ := json.Marshal(control{Dir: cfg.Dir, Duration: cfg.Duration, ID: id})
+	if _, err := conn.Write(append(hello, '\n')); err != nil {
+		return StreamResult{}, err
+	}
+
+	start := time.Now()
+	var bytes int64
+	switch cfg.Dir {
+	case Download:
+		buf := make([]byte, 128<<10)
+		deadline := start.Add(cfg.Duration + 3*time.Second)
+		for {
+			if ctx.Err() != nil {
+				break
+			}
+			conn.SetReadDeadline(minTime(deadline, time.Now().Add(2*time.Second)))
+			n, err := conn.Read(buf)
+			bytes += int64(n)
+			ic.add(int64(n))
+			if err != nil {
+				break
+			}
+		}
+	case Upload:
+		buf := make([]byte, 128<<10)
+		deadline := start.Add(cfg.Duration)
+		for time.Now().Before(deadline) && ctx.Err() == nil {
+			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			n, err := conn.Write(buf)
+			bytes += int64(n)
+			ic.add(int64(n))
+			if err != nil {
+				break
+			}
+		}
+		// Half-close and read the server's count (authoritative).
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+		line, err := bufio.NewReader(conn).ReadBytes('\n')
+		if err == nil {
+			var sum uploadSummary
+			if json.Unmarshal(line, &sum) == nil && sum.Bytes > 0 {
+				bytes = sum.Bytes
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed > cfg.Duration {
+		elapsed = cfg.Duration
+	}
+	return StreamResult{
+		ID:       id,
+		Bytes:    bytes,
+		Duration: elapsed,
+		Mbps:     float64(bytes*8) / cfg.Duration.Seconds() / 1e6,
+	}, nil
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}
+
+func runUDP(ctx context.Context, cfg ClientConfig) (*Result, error) {
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	testID := rand.Uint32()
+	ic := newIntervalCounter(cfg.Interval)
+
+	res := &Result{Proto: UDP, Dir: cfg.Dir, Parallel: 1}
+	switch cfg.Dir {
+	case Upload:
+		err = runUDPUpload(ctx, conn, cfg, testID, ic, res)
+	case Download:
+		err = runUDPDownload(ctx, conn, cfg, testID, ic, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Intervals = ic.reports()
+	return res, nil
+}
+
+func runUDPUpload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, testID uint32, ic *intervalCounter, res *Result) error {
+	buf := make([]byte, udpPayload)
+	interval := time.Duration(float64(udpPayload+28) * 8 / (cfg.RateMbps * 1e6) * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	deadline := time.Now().Add(cfg.Duration)
+	next := time.Now()
+	var seq uint64
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		marshalHeader(udpHeader{
+			Magic: udpMagic, Type: udpTypeData, TestID: testID,
+			Seq: seq, SentNano: uint64(time.Now().UnixNano()),
+		}, buf)
+		seq++
+		if _, err := conn.Write(buf); err != nil {
+			return err
+		}
+		ic.add(int64(len(buf)))
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	res.Sent = int64(seq)
+
+	// Ask the server for its receive stats (retry a few times).
+	end := make([]byte, udpHeaderSize)
+	marshalHeader(udpHeader{Magic: udpMagic, Type: udpTypeEnd, TestID: testID, Seq: seq}, end)
+	reply := make([]byte, 2048)
+	for attempt := 0; attempt < 5; attempt++ {
+		if _, err := conn.Write(end); err != nil {
+			return err
+		}
+		conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		n, err := conn.Read(reply)
+		if err != nil {
+			continue
+		}
+		if h, ok := unmarshalHeader(reply[:n]); ok && h.Type == udpTypeStats && h.TestID == testID {
+			res.Received = int64(h.Extra)
+			res.JitterMs = float64(h.Seq) / 1000
+			if res.Sent > 0 {
+				res.LossRate = 1 - float64(res.Received)/float64(res.Sent)
+				if res.LossRate < 0 {
+					res.LossRate = 0
+				}
+			}
+			res.TotalMbps = float64(res.Received) * float64(udpPayload) * 8 / cfg.Duration.Seconds() / 1e6
+			return nil
+		}
+	}
+	return fmt.Errorf("iperf: no stats reply from server")
+}
+
+func runUDPDownload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, testID uint32, ic *intervalCounter, res *Result) error {
+	req := make([]byte, udpHeaderSize)
+	marshalHeader(udpHeader{
+		Magic: udpMagic, Type: udpTypeReq, TestID: testID,
+		SentNano: uint64(cfg.Duration), Extra: uint64(cfg.RateMbps * 1000),
+	}, req)
+	if _, err := conn.Write(req); err != nil {
+		return err
+	}
+	buf := make([]byte, 64<<10)
+	var (
+		received, bytes int64
+		maxSeq          uint64
+		jitter          float64
+		lastTx          uint64
+		lastRx          time.Time
+	)
+	hardDeadline := time.Now().Add(cfg.Duration + 3*time.Second)
+	for time.Now().Before(hardDeadline) && ctx.Err() == nil {
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+		n, err := conn.Read(buf)
+		if err != nil {
+			continue
+		}
+		h, ok := unmarshalHeader(buf[:n])
+		if !ok || h.TestID != testID {
+			continue
+		}
+		if h.Type == udpTypeEnd {
+			maxSeq = h.Seq
+			break
+		}
+		if h.Type != udpTypeData {
+			continue
+		}
+		now := time.Now()
+		received++
+		bytes += int64(n)
+		ic.add(int64(n))
+		if h.Seq+1 > maxSeq {
+			maxSeq = h.Seq + 1
+		}
+		if !lastRx.IsZero() {
+			dTransit := float64(now.UnixNano()-int64(h.SentNano)) - float64(lastRx.UnixNano()-int64(lastTx))
+			if dTransit < 0 {
+				dTransit = -dTransit
+			}
+			jitter += (dTransit/1e9 - jitter) / 16
+		}
+		lastTx = h.SentNano
+		lastRx = now
+	}
+	res.Sent = int64(maxSeq)
+	res.Received = received
+	if res.Sent > 0 {
+		res.LossRate = 1 - float64(received)/float64(res.Sent)
+		if res.LossRate < 0 {
+			res.LossRate = 0
+		}
+	}
+	res.JitterMs = jitter * 1000
+	res.TotalMbps = float64(bytes*8) / cfg.Duration.Seconds() / 1e6
+	return nil
+}

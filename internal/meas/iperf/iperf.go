@@ -1,0 +1,106 @@
+// Package iperf is a self-contained iPerf-style throughput measurement
+// engine over real sockets: TCP and UDP, uplink and downlink, with
+// parallel streams (the paper's "P" parameter), paced UDP at a target
+// rate, per-interval reports and JSON-friendly results. The paper runs
+// exactly these tests against AWS servers while driving (§3.2); here
+// the server end is a goroutine, optionally behind a netem relay.
+package iperf
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// Proto selects the transport.
+type Proto string
+
+// Transport protocols.
+const (
+	TCP Proto = "tcp"
+	UDP Proto = "udp"
+)
+
+// Direction of the data transfer, from the client's perspective.
+type Direction string
+
+// Transfer directions.
+const (
+	Download Direction = "down" // server -> client
+	Upload   Direction = "up"   // client -> server
+)
+
+// StreamResult summarises one stream of a test.
+type StreamResult struct {
+	ID       int
+	Bytes    int64
+	Duration time.Duration
+	Mbps     float64
+}
+
+// IntervalReport is one periodic progress sample.
+type IntervalReport struct {
+	Start time.Duration
+	Bytes int64
+	Mbps  float64
+}
+
+// Result is the outcome of one test.
+type Result struct {
+	Proto     Proto
+	Dir       Direction
+	Parallel  int
+	Streams   []StreamResult
+	Intervals []IntervalReport
+	TotalMbps float64
+	// UDP only:
+	Sent     int64
+	Received int64
+	LossRate float64
+	JitterMs float64
+}
+
+// Wire constants for the UDP data protocol.
+const (
+	udpMagic      = 0x5a7c
+	udpTypeData   = 1
+	udpTypeReq    = 2 // client requests a downlink stream
+	udpTypeEnd    = 3 // end of data
+	udpTypeStats  = 4 // server -> client stats report
+	udpHeaderSize = 32
+	udpPayload    = 1400
+)
+
+// udpHeader is the packed datagram header.
+type udpHeader struct {
+	Magic    uint16
+	Type     uint8
+	_        uint8
+	TestID   uint32
+	Seq      uint64
+	SentNano uint64
+	Extra    uint64 // rate (mbps*1000) for requests; received count for stats
+}
+
+func marshalHeader(h udpHeader, buf []byte) {
+	binary.BigEndian.PutUint16(buf[0:], h.Magic)
+	buf[2] = h.Type
+	binary.BigEndian.PutUint32(buf[4:], h.TestID)
+	binary.BigEndian.PutUint64(buf[8:], h.Seq)
+	binary.BigEndian.PutUint64(buf[16:], h.SentNano)
+	binary.BigEndian.PutUint64(buf[24:], h.Extra)
+}
+
+func unmarshalHeader(buf []byte) (udpHeader, bool) {
+	if len(buf) < udpHeaderSize {
+		return udpHeader{}, false
+	}
+	h := udpHeader{
+		Magic:    binary.BigEndian.Uint16(buf[0:]),
+		Type:     buf[2],
+		TestID:   binary.BigEndian.Uint32(buf[4:]),
+		Seq:      binary.BigEndian.Uint64(buf[8:]),
+		SentNano: binary.BigEndian.Uint64(buf[16:]),
+		Extra:    binary.BigEndian.Uint64(buf[24:]),
+	}
+	return h, h.Magic == udpMagic
+}

@@ -1,0 +1,82 @@
+package tracker
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+type fakeProvider struct{ fail bool }
+
+func (f fakeProvider) Info(at time.Duration) (Record, error) {
+	if f.fail {
+		return Record{}, errors.New("modem unavailable")
+	}
+	return Record{
+		Network: "MOB", NetType: "starlink",
+		Lat: 44.1, Lon: -90.2, SpeedKmh: 88,
+		SignalDB: 8.5, Serving: "SL-01-02",
+	}, nil
+}
+
+func TestSampleRangeAndRecords(t *testing.T) {
+	tr := New(fakeProvider{}, 100*time.Millisecond)
+	if err := tr.SampleRange(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	recs := tr.Records()
+	if len(recs) != 10 {
+		t.Fatalf("records = %d, want 10", len(recs))
+	}
+	if recs[3].AtMs != 300 {
+		t.Fatalf("AtMs = %d", recs[3].AtMs)
+	}
+	if recs[0].Network != "MOB" || recs[0].SpeedKmh != 88 {
+		t.Fatalf("record contents wrong: %+v", recs[0])
+	}
+}
+
+func TestSampleRangeError(t *testing.T) {
+	tr := New(fakeProvider{fail: true}, time.Second)
+	if err := tr.SampleRange(2 * time.Second); err == nil {
+		t.Fatal("provider error should propagate")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New(fakeProvider{}, time.Second)
+	if err := tr.SampleRange(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Records()
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewBufferString("{bad json")); err == nil {
+		t.Fatal("bad input should fail")
+	}
+}
+
+func TestDefaultPeriod(t *testing.T) {
+	tr := New(fakeProvider{}, 0)
+	if tr.period != time.Second {
+		t.Fatal("default period should be 1s")
+	}
+}

@@ -1,0 +1,102 @@
+package udpping
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"satcell/internal/netem"
+)
+
+func TestPingLoopback(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := Run(context.Background(), Config{
+		Addr: s.Addr().String(), Count: 8, Interval: 20 * time.Millisecond, Timeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 8 || res.Received != 8 {
+		t.Fatalf("sent/received = %d/%d", res.Sent, res.Received)
+	}
+	for _, ms := range res.RTTsMs() {
+		if ms <= 0 || ms > 100 {
+			t.Fatalf("loopback RTT %v ms implausible", ms)
+		}
+	}
+	if res.LossRate() != 0 {
+		t.Fatalf("loss = %v", res.LossRate())
+	}
+}
+
+func TestPingThroughShapedRelay(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	relay, err := netem.NewUDPRelay("127.0.0.1:0", s.Addr().String(),
+		netem.ConstantShape(100, 30*time.Millisecond, 0),
+		netem.ConstantShape(100, 30*time.Millisecond, 0), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	res, err := Run(context.Background(), Config{
+		Addr: relay.Addr().String(), Count: 6, Interval: 30 * time.Millisecond, Timeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received == 0 {
+		t.Fatal("no echoes through relay")
+	}
+	for _, ms := range res.RTTsMs() {
+		if ms < 60 {
+			t.Fatalf("RTT %v ms below the shaped 60 ms floor", ms)
+		}
+	}
+}
+
+func TestPingLossCounted(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	relay, err := netem.NewUDPRelay("127.0.0.1:0", s.Addr().String(),
+		netem.ConstantShape(100, 0, 0.5), netem.ConstantShape(100, 0, 0), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	res, err := Run(context.Background(), Config{
+		Addr: relay.Addr().String(), Count: 40, Interval: 5 * time.Millisecond, Timeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossRate() < 0.2 || res.LossRate() > 0.8 {
+		t.Fatalf("loss = %v, want ~0.5", res.LossRate())
+	}
+	lost := 0
+	for _, p := range res.Probes {
+		if p.Lost {
+			lost++
+		}
+	}
+	if lost != res.Sent-res.Received {
+		t.Fatal("probe loss bookkeeping inconsistent")
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	var r Result
+	if r.LossRate() != 0 || len(r.RTTsMs()) != 0 {
+		t.Fatal("zero-value Result misbehaves")
+	}
+}

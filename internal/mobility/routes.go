@@ -1,0 +1,104 @@
+package mobility
+
+import (
+	"fmt"
+
+	"satcell/internal/geo"
+)
+
+// leg is a route-building helper pairing a waypoint with the speed limit
+// of the leg leading to it.
+type leg struct {
+	to    geo.LatLon
+	limit float64
+}
+
+func mustRoute(name, state string, start geo.LatLon, legs []leg) *Route {
+	segs := make([]Segment, len(legs))
+	for i, l := range legs {
+		segs[i] = Segment{To: l.to, SpeedLimitKmh: l.limit}
+	}
+	r, err := NewRoute(name, state, start, segs)
+	if err != nil {
+		panic(fmt.Sprintf("mobility: bad built-in route: %v", err))
+	}
+	return r
+}
+
+// cityLoop builds a small urban circuit around a centre point: a square
+// loop of the given radius driven at city speeds.
+func cityLoop(name, state string, centre geo.LatLon, radiusKm float64) *Route {
+	n := geo.Destination(centre, 0, radiusKm)
+	e := geo.Destination(centre, 90, radiusKm)
+	s := geo.Destination(centre, 180, radiusKm)
+	w := geo.Destination(centre, 270, radiusKm)
+	return mustRoute(name, state, n, []leg{
+		{e, 50}, {s, 45}, {w, 50}, {n, 45},
+	})
+}
+
+// freeway builds an interstate-style route through the given waypoints at
+// freeway speed (capped at the campaign's 100 km/h).
+func freeway(name, state string, pts ...geo.LatLon) *Route {
+	legs := make([]leg, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		legs[i-1] = leg{pts[i], 100}
+	}
+	return mustRoute(name, state, pts[0], legs)
+}
+
+// Campaign city coordinates (match internal/geo.DefaultGazetteer).
+var (
+	detroit     = geo.LatLon{Lat: 42.3314, Lon: -83.0458}
+	annArbor    = geo.LatLon{Lat: 42.2808, Lon: -83.7430}
+	jackson     = geo.LatLon{Lat: 42.2459, Lon: -84.4013}
+	battleCreek = geo.LatLon{Lat: 42.3212, Lon: -85.1797}
+	kalamazoo   = geo.LatLon{Lat: 42.2917, Lon: -85.5872}
+	bentonHbr   = geo.LatLon{Lat: 42.1167, Lon: -86.4542}
+	michiganCty = geo.LatLon{Lat: 41.7075, Lon: -86.8950}
+	gary        = geo.LatLon{Lat: 41.5934, Lon: -87.3464}
+	chicago     = geo.LatLon{Lat: 41.8781, Lon: -87.6298}
+	milwaukee   = geo.LatLon{Lat: 43.0389, Lon: -87.9065}
+	madison     = geo.LatLon{Lat: 43.0731, Lon: -89.4012}
+	wiDells     = geo.LatLon{Lat: 43.6275, Lon: -89.7710}
+	tomah       = geo.LatLon{Lat: 43.9786, Lon: -90.5040}
+	eauClaire   = geo.LatLon{Lat: 44.8113, Lon: -91.4985}
+	menomonie   = geo.LatLon{Lat: 44.8755, Lon: -91.9193}
+	minneapolis = geo.LatLon{Lat: 44.9778, Lon: -93.2650}
+	stPaul      = geo.LatLon{Lat: 44.9537, Lon: -93.0900}
+	rochester   = geo.LatLon{Lat: 44.0121, Lon: -92.4802}
+	stCloud     = geo.LatLon{Lat: 45.5579, Lon: -94.1632}
+)
+
+// DefaultRoutes returns the synthetic five-state drive corpus: urban
+// circuits in the metro cores, mixed suburban connectors, and long rural
+// interstate legs, mirroring the paper's Michigan-to-Minnesota campaign.
+func DefaultRoutes() []*Route {
+	return []*Route{
+		cityLoop("detroit-loop", "MI", detroit, 4),
+		freeway("i94-west-mi", "MI", annArbor, jackson, battleCreek, kalamazoo),
+		freeway("i90-dells", "WI", madison, wiDells, tomah),
+		mustRoute("detroit-annarbor", "MI", detroit, []leg{
+			{geo.Destination(detroit, 260, 20), 90},
+			{annArbor, 100},
+		}),
+		freeway("i94-eauclaire", "WI", tomah, eauClaire, menomonie),
+		cityLoop("chicago-loop", "IL", chicago, 5),
+		freeway("i94-north-il", "IL", chicago, milwaukee),
+		freeway("us52-rochester", "MN", stPaul, rochester),
+		cityLoop("milwaukee-loop", "WI", milwaukee, 4),
+		freeway("i94-madison", "WI", milwaukee, madison),
+		freeway("i94-lakeshore", "MI", kalamazoo, bentonHbr, michiganCty, gary),
+		mustRoute("gary-chicago", "IN", gary, []leg{
+			{geo.Destination(chicago, 135, 15), 90},
+			{chicago, 70},
+		}),
+		freeway("i94-twincities", "WI", menomonie, stPaul),
+		cityLoop("minneapolis-loop", "MN", minneapolis, 4),
+		mustRoute("stpaul-minneapolis", "MN", stPaul, []leg{
+			{minneapolis, 80},
+			{geo.Destination(minneapolis, 315, 12), 90},
+		}),
+		freeway("i94-stcloud", "MN", minneapolis, stCloud),
+	}
+}

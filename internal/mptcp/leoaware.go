@@ -1,0 +1,83 @@
+package mptcp
+
+import (
+	"time"
+)
+
+// LEOAware is a Starlink-aware scheduler prototype realising the
+// paper's future-work proposal (§6: "considering the specific usage
+// scenarios and characteristics of the two network types, further
+// improvements can be made to future MPTCP scheduler design, such as
+// reducing throughput fluctuations").
+//
+// It behaves like MinRTT, with one LEO-specific rule: Starlink
+// reallocates satellite/beam assignments on a fixed 15-second epoch
+// grid, and throughput regularly dips or drops out right after a
+// boundary. Inside a guard window around each predicted boundary the
+// scheduler declines to place new data on the satellite subflow, so the
+// data that would straddle the reallocation gap (and head-of-line block
+// the connection) rides the cellular path instead.
+type LEOAware struct {
+	// SatIdx is the index of the satellite subflow within the
+	// connection's path list.
+	SatIdx int
+	// Epoch is the reallocation interval (15 s for Starlink).
+	Epoch time.Duration
+	// Guard is the no-schedule window straddling each boundary
+	// (Guard/2 before and after). Default 2 s.
+	Guard time.Duration
+	// Clock supplies the current virtual time (e.g. emu.Engine.Now).
+	Clock func() time.Duration
+}
+
+// NewLEOAware builds the scheduler for a connection whose satellite
+// path is at index satIdx.
+func NewLEOAware(satIdx int, clock func() time.Duration) *LEOAware {
+	return &LEOAware{
+		SatIdx: satIdx,
+		Epoch:  15 * time.Second,
+		Guard:  2 * time.Second,
+		Clock:  clock,
+	}
+}
+
+// Name implements Scheduler.
+func (l *LEOAware) Name() string { return "leo-aware" }
+
+// nearBoundary reports whether now falls inside the guard window of an
+// epoch boundary.
+func (l *LEOAware) nearBoundary(now time.Duration) bool {
+	if l.Epoch <= 0 {
+		return false
+	}
+	phase := now % l.Epoch
+	half := l.Guard / 2
+	return phase < half || phase > l.Epoch-half
+}
+
+// Allow implements Scheduler.
+func (l *LEOAware) Allow(c *Conn, idx int) bool {
+	if !hasSpace(c.subflows[idx]) {
+		return false
+	}
+	if idx == l.SatIdx && l.Clock != nil && l.nearBoundary(l.Clock()) {
+		// Hold satellite traffic across the predicted reallocation;
+		// the cellular subflow keeps the connection moving.
+		return false
+	}
+	// MinRTT among the remaining eligible subflows.
+	my := c.subflows[idx].SRTT()
+	for i, s := range c.subflows {
+		if i == idx || !hasSpace(s) {
+			continue
+		}
+		if i == l.SatIdx && l.Clock != nil && l.nearBoundary(l.Clock()) {
+			continue // the satellite path is on hold: it cannot outrank us
+		}
+		o := s.SRTT()
+		if o < my || (o == my && i < idx) {
+			return false
+		}
+	}
+	return true
+}

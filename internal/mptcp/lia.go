@@ -1,0 +1,118 @@
+package mptcp
+
+import (
+	"math"
+	"time"
+
+	"satcell/internal/tcp"
+)
+
+// liaGroup couples the LIA controllers of one MPTCP connection.
+type liaGroup struct {
+	subflows []*tcp.Conn
+}
+
+func (g *liaGroup) register(c *tcp.Conn) { g.subflows = append(g.subflows, c) }
+
+// alpha computes the RFC 6356 aggressiveness parameter:
+//
+//	alpha = cwnd_total * max_i(cwnd_i/rtt_i^2) / (sum_i cwnd_i/rtt_i)^2
+func (g *liaGroup) alpha() float64 {
+	var total, maxTerm, sumTerm float64
+	for _, s := range g.subflows {
+		rtt := s.SRTT().Seconds()
+		if rtt <= 0 {
+			rtt = 0.1 // not yet measured: assume 100 ms
+		}
+		w := float64(s.Cwnd())
+		total += w
+		if t := w / (rtt * rtt); t > maxTerm {
+			maxTerm = t
+		}
+		sumTerm += w / rtt
+	}
+	if sumTerm == 0 {
+		return 1
+	}
+	a := total * maxTerm / (sumTerm * sumTerm)
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		return 1
+	}
+	return a
+}
+
+// totalWindow returns the sum of all coupled congestion windows.
+func (g *liaGroup) totalWindow() int {
+	t := 0
+	for _, s := range g.subflows {
+		t += s.Cwnd()
+	}
+	return t
+}
+
+// lia is the per-subflow RFC 6356 "Linked Increases" controller: slow
+// start and loss response follow standard NewReno, but congestion-
+// avoidance growth is coupled across the connection's subflows so the
+// multipath aggregate stays fair to single-path TCP at shared
+// bottlenecks while still shifting load to the better path.
+type lia struct {
+	reno  *tcp.NewReno
+	group *liaGroup
+	frac  float64 // accumulated sub-byte window growth
+}
+
+func newLIA(g *liaGroup) *lia {
+	return &lia{reno: tcp.NewNewReno(), group: g}
+}
+
+// Name implements tcp.CongestionControl.
+func (l *lia) Name() string { return "lia" }
+
+// Reset implements tcp.CongestionControl.
+func (l *lia) Reset() { l.reno.Reset(); l.frac = 0 }
+
+// Window implements tcp.CongestionControl.
+func (l *lia) Window() int { return l.reno.Window() }
+
+// InSlowStart implements tcp.CongestionControl.
+func (l *lia) InSlowStart() bool { return l.reno.InSlowStart() }
+
+// ExitSlowStart implements tcp.CongestionControl.
+func (l *lia) ExitSlowStart() { l.reno.ExitSlowStart() }
+
+// OnAck implements tcp.CongestionControl.
+func (l *lia) OnAck(acked int, rtt time.Duration) {
+	if l.reno.InSlowStart() {
+		l.reno.OnAck(acked, rtt)
+		return
+	}
+	// Coupled congestion avoidance (RFC 6356 §3):
+	// increase = min(alpha * acked * MSS / cwnd_total, acked * MSS / cwnd_i).
+	alpha := l.group.alpha()
+	total := float64(l.group.totalWindow())
+	own := float64(l.reno.Window())
+	if total <= 0 || own <= 0 {
+		l.reno.OnAck(acked, rtt)
+		return
+	}
+	coupled := alpha * float64(acked) * tcp.MSS / total
+	uncoupled := float64(acked) * tcp.MSS / own
+	l.frac += math.Min(coupled, uncoupled)
+	if l.frac >= 1 {
+		inc := int(l.frac)
+		l.frac -= float64(inc)
+		l.reno.SetWindow(l.reno.Window() + inc)
+	}
+}
+
+// OnLoss implements tcp.CongestionControl.
+func (l *lia) OnLoss(flight int) int { return l.reno.OnLoss(flight) }
+
+// OnRTO implements tcp.CongestionControl.
+func (l *lia) OnRTO(flight int) { l.reno.OnRTO(flight) }
+
+// ExitRecovery implements tcp.CongestionControl.
+func (l *lia) ExitRecovery() { l.reno.ExitRecovery() }
+
+// SetWindow allows the sender's recovery logic to adjust the window.
+func (l *lia) SetWindow(w int) { l.reno.SetWindow(w) }

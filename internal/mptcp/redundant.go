@@ -1,0 +1,63 @@
+package mptcp
+
+import (
+	"satcell/internal/tcp"
+)
+
+// Redundant duplicates every chunk on all subflows: latency-optimal and
+// loss-resilient, at the cost of capping goodput at the slowest-path
+// rate times the subflow count overhead. Useful as the upper bound on
+// reliability in scheduler ablations (the paper's future-work
+// discussion of schedulers tailored to LEO+cellular motivates having
+// it available for comparison).
+type Redundant struct {
+	// pending holds, per subflow, the duplicates that this subflow
+	// still owes: when any subflow originates a chunk, a copy is queued
+	// for every other subflow.
+	pending [][]tcp.Chunk
+}
+
+// NewRedundant returns a redundant scheduler.
+func NewRedundant() *Redundant { return &Redundant{} }
+
+// Name implements Scheduler.
+func (r *Redundant) Name() string { return "redundant" }
+
+// Allow implements Scheduler: every subflow with window space may send.
+func (r *Redundant) Allow(c *Conn, idx int) bool {
+	return hasSpace(c.subflows[idx])
+}
+
+// ensure sizes the pending queues to the connection's subflow count.
+func (r *Redundant) ensure(n int) {
+	for len(r.pending) < n {
+		r.pending = append(r.pending, nil)
+	}
+}
+
+// NextDuplicate pops a duplicate owed by subflow idx, if any. The
+// connection's data source consults this before minting new DSNs.
+func (r *Redundant) NextDuplicate(c *Conn, idx int) (tcp.Chunk, bool) {
+	r.ensure(len(c.subflows))
+	q := r.pending[idx]
+	for len(q) > 0 {
+		ch := q[0]
+		q = q[1:]
+		if ch.DSN >= c.rcvNxtDSN { // still useful
+			r.pending[idx] = q
+			return ch, true
+		}
+	}
+	r.pending[idx] = q
+	return tcp.Chunk{}, false
+}
+
+// OnOriginate records that every other subflow owes a duplicate of ch.
+func (r *Redundant) OnOriginate(c *Conn, idx int, ch tcp.Chunk) {
+	r.ensure(len(c.subflows))
+	for i := range c.subflows {
+		if i != idx {
+			r.pending[i] = append(r.pending[i], ch)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package netem
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"satcell/internal/channel"
+)
+
+func TestConstantShape(t *testing.T) {
+	s := ConstantShape(50, 20*time.Millisecond, 0.1)
+	if s.RateMbps(time.Second) != 50 || s.Delay(0) != 20*time.Millisecond || s.LossProb(0) != 0.1 {
+		t.Fatal("ConstantShape values wrong")
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	tr := &channel.Trace{Network: channel.StarlinkMobility}
+	tr.Samples = []channel.Sample{
+		{At: 0, DownMbps: 100, UpMbps: 10, RTT: 60 * time.Millisecond, LossDown: 0.01, LossUp: 0.02},
+		{At: time.Second, DownMbps: 50, UpMbps: 5, RTT: 40 * time.Millisecond},
+	}
+	down := FromTrace(tr, false)
+	up := FromTrace(tr, true)
+	if down.RateMbps(0) != 100 || up.RateMbps(0) != 10 {
+		t.Fatal("rate lookup wrong")
+	}
+	if down.Delay(0) != 30*time.Millisecond {
+		t.Fatal("delay should be RTT/2")
+	}
+	if down.LossProb(0) != 0.01 || up.LossProb(0) != 0.02 {
+		t.Fatal("loss lookup wrong")
+	}
+	if down.RateMbps(1500*time.Millisecond) != 50 {
+		t.Fatal("time indexing wrong")
+	}
+	// Looping past the end.
+	if down.RateMbps(2500*time.Millisecond) != 100 {
+		t.Fatal("loop lookup wrong")
+	}
+}
+
+func TestPacerSpacing(t *testing.T) {
+	p := newPacer(ConstantShape(8, 0, 0), 1) // 8 Mbps = 1 MB/s
+	t0 := time.Now()
+	var last time.Time
+	for i := 0; i < 10; i++ {
+		at, drop := p.admit(10000) // 10 kB -> 10 ms each at 1 MB/s
+		if drop {
+			t.Fatal("unexpected drop")
+		}
+		last = at
+	}
+	span := last.Sub(t0)
+	if span < 90*time.Millisecond || span > 130*time.Millisecond {
+		t.Fatalf("10 x 10kB at 1MB/s should span ~100ms, got %v", span)
+	}
+}
+
+func TestPacerLoss(t *testing.T) {
+	p := newPacer(ConstantShape(1000, 0, 0.5), 7)
+	drops := 0
+	for i := 0; i < 2000; i++ {
+		if _, drop := p.admit(100); drop {
+			drops++
+		}
+	}
+	if drops < 850 || drops > 1150 {
+		t.Fatalf("drops = %d of 2000 at p=0.5", drops)
+	}
+}
+
+// echoUDPServer echoes datagrams until closed.
+func echoUDPServer(t *testing.T) *net.UDPConn {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			n, from, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			conn.WriteToUDP(buf[:n], from)
+		}
+	}()
+	return conn
+}
+
+func TestUDPRelayRoundTripAndDelay(t *testing.T) {
+	server := echoUDPServer(t)
+	defer server.Close()
+	relay, err := NewUDPRelay("127.0.0.1:0", server.LocalAddr().String(),
+		ConstantShape(100, 25*time.Millisecond, 0),
+		ConstantShape(100, 25*time.Millisecond, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	client, err := net.DialUDP("udp", nil, relay.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	msg := []byte("ping-payload")
+	start := time.Now()
+	if _, err := client.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1500)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if string(buf[:n]) != string(msg) {
+		t.Fatal("payload corrupted")
+	}
+	// 2 x 25ms one-way delay; allow generous scheduling slack.
+	if rtt < 50*time.Millisecond || rtt > 300*time.Millisecond {
+		t.Fatalf("RTT = %v, want ~50ms+", rtt)
+	}
+}
+
+func TestUDPRelayShapesRate(t *testing.T) {
+	server := echoUDPServer(t)
+	defer server.Close()
+	// Downlink (echo direction) limited to 4 Mbps.
+	relay, err := NewUDPRelay("127.0.0.1:0", server.LocalAddr().String(),
+		ConstantShape(1000, 0, 0), ConstantShape(4, 0, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	client, err := net.DialUDP("udp", nil, relay.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Blast 1200-byte datagrams for 1 second; count echoed bytes.
+	payload := make([]byte, 1200)
+	done := make(chan int64)
+	go func() {
+		var got int64
+		buf := make([]byte, 2048)
+		for {
+			client.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+			n, err := client.Read(buf)
+			if err != nil {
+				done <- got
+				return
+			}
+			got += int64(n)
+		}
+	}()
+	end := time.Now().Add(1 * time.Second)
+	for time.Now().Before(end) {
+		client.Write(payload)
+		time.Sleep(500 * time.Microsecond) // offered ~19 Mbps
+	}
+	got := <-done
+	mbps := float64(got*8) / 1.5 / 1e6 // bytes over ~1.5s window
+	if mbps > 6 {
+		t.Fatalf("downlink shaped at 4 Mbps but measured %v", mbps)
+	}
+	if mbps < 1.5 {
+		t.Fatalf("relay barely passed traffic: %v Mbps", mbps)
+	}
+}
+
+func TestTCPRelayShapesThroughput(t *testing.T) {
+	// Sink server: read and discard.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+
+	relay, err := NewTCPRelay("127.0.0.1:0", ln.Addr().String(),
+		ConstantShape(16, 5*time.Millisecond, 0), ConstantShape(16, 5*time.Millisecond, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	conn, err := net.Dial("tcp", relay.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 32<<10)
+	start := time.Now()
+	var sent int64
+	for time.Since(start) < 1200*time.Millisecond {
+		n, err := conn.Write(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent += int64(n)
+	}
+	mbps := float64(sent*8) / time.Since(start).Seconds() / 1e6
+	// 16 Mbps shaping (+ socket buffers absorbing some): must be far
+	// below loopback line rate and near the configured cap.
+	if mbps > 40 {
+		t.Fatalf("TCP relay failed to shape: %v Mbps", mbps)
+	}
+	if mbps < 6 {
+		t.Fatalf("TCP relay too slow: %v Mbps", mbps)
+	}
+}
+
+func TestRelayCloseIdempotent(t *testing.T) {
+	server := echoUDPServer(t)
+	defer server.Close()
+	relay, err := NewUDPRelay("127.0.0.1:0", server.LocalAddr().String(), Shape{}, Shape{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeShapesAndDelivers(t *testing.T) {
+	a, b, stop := Pipe(ConstantShape(8, 10*time.Millisecond, 0), ConstantShape(100, 10*time.Millisecond, 0))
+	defer stop()
+
+	// Writer on a; reader on b counts bytes for ~1s.
+	done := make(chan int64)
+	go func() {
+		var got int64
+		buf := make([]byte, 32<<10)
+		b.SetReadDeadline(time.Now().Add(1200 * time.Millisecond))
+		for {
+			n, err := b.Read(buf)
+			got += int64(n)
+			if err != nil {
+				done <- got
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	buf := make([]byte, 8<<10)
+	for time.Since(start) < time.Second {
+		if _, err := a.Write(buf); err != nil {
+			break
+		}
+	}
+	a.Close()
+	got := <-done
+	mbps := float64(got*8) / time.Since(start).Seconds() / 1e6
+	// Upper bound checks the shaping; the lower bound is only a
+	// liveness floor (wall-clock tests run under arbitrary CPU load).
+	if mbps > 14 || mbps < 1 {
+		t.Fatalf("pipe shaped at 8 Mbps but measured %.1f", mbps)
+	}
+}
+
+func TestPipeBidirectionalAndLatency(t *testing.T) {
+	a, b, stop := Pipe(ConstantShape(100, 20*time.Millisecond, 0), ConstantShape(100, 20*time.Millisecond, 0))
+	defer stop()
+
+	// Echo server on b.
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			n, err := b.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := b.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	msg := []byte("hello-sat")
+	start := time.Now()
+	if _, err := a.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	reply := make([]byte, 256)
+	a.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := a.Read(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if string(reply[:n]) != string(msg) {
+		t.Fatal("payload corrupted")
+	}
+	if rtt < 40*time.Millisecond || rtt > 500*time.Millisecond {
+		t.Fatalf("pipe RTT %v, want >= 40ms", rtt)
+	}
+}
+
+func TestPipeStopIdempotent(t *testing.T) {
+	a, _, stop := Pipe(Shape{}, Shape{})
+	stop()
+	stop()
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("write after stop should fail")
+	}
+}

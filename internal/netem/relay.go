@@ -1,0 +1,258 @@
+package netem
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDPRelay forwards datagrams between clients and a target server,
+// shaping each direction independently — the MpShell role for the UDP
+// measurement tools. Clients send to the relay's address; the relay
+// remembers each client and routes the server's responses back.
+type UDPRelay struct {
+	conn     *net.UDPConn
+	target   *net.UDPAddr
+	toServer *pacer // client -> server (uplink)
+	toClient *pacer // server -> client (downlink)
+
+	mu      sync.Mutex
+	clients map[string]*clientSession
+	closed  chan struct{}
+	wg      sync.WaitGroup
+}
+
+type clientSession struct {
+	addr   *net.UDPAddr
+	server *net.UDPConn // dedicated socket toward the target
+}
+
+// NewUDPRelay starts a relay listening on listenAddr ("127.0.0.1:0" for
+// an ephemeral port) forwarding to targetAddr. up shapes client->server
+// traffic, down shapes server->client traffic.
+func NewUDPRelay(listenAddr, targetAddr string, up, down Shape, seed int64) (*UDPRelay, error) {
+	la, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	ta, err := net.ResolveUDPAddr("udp", targetAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, err
+	}
+	r := &UDPRelay{
+		conn:     conn,
+		target:   ta,
+		toServer: newPacer(up, seed*2+1),
+		toClient: newPacer(down, seed*2+2),
+		clients:  make(map[string]*clientSession),
+		closed:   make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.clientLoop()
+	return r, nil
+}
+
+// Addr returns the relay's client-facing address.
+func (r *UDPRelay) Addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close stops the relay.
+func (r *UDPRelay) Close() error {
+	select {
+	case <-r.closed:
+		return nil
+	default:
+	}
+	close(r.closed)
+	err := r.conn.Close()
+	r.mu.Lock()
+	for _, cs := range r.clients {
+		cs.server.Close()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	return err
+}
+
+func (r *UDPRelay) clientLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		cs := r.session(from)
+		if cs == nil {
+			continue
+		}
+		deliverAt, drop := r.toServer.admit(n)
+		if drop {
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		r.deliverLater(deliverAt, func() { cs.server.Write(pkt) })
+	}
+}
+
+// session returns (creating if needed) the per-client forwarding state.
+func (r *UDPRelay) session(from *net.UDPAddr) *clientSession {
+	key := from.String()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cs, ok := r.clients[key]; ok {
+		return cs
+	}
+	server, err := net.DialUDP("udp", nil, r.target)
+	if err != nil {
+		return nil
+	}
+	cs := &clientSession{addr: from, server: server}
+	r.clients[key] = cs
+	r.wg.Add(1)
+	go r.serverLoop(cs)
+	return cs
+}
+
+func (r *UDPRelay) serverLoop(cs *clientSession) {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := cs.server.Read(buf)
+		if err != nil {
+			return
+		}
+		deliverAt, drop := r.toClient.admit(n)
+		if drop {
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		addr := cs.addr
+		r.deliverLater(deliverAt, func() {
+			r.conn.WriteToUDP(pkt, addr)
+		})
+	}
+}
+
+// deliverLater schedules fn at the given time, unless the relay closes.
+func (r *UDPRelay) deliverLater(at time.Time, fn func()) {
+	d := time.Until(at)
+	if d <= 0 {
+		fn()
+		return
+	}
+	timer := time.AfterFunc(d, fn)
+	// Tie timer lifetime to the relay.
+	go func() {
+		select {
+		case <-r.closed:
+			timer.Stop()
+		case <-time.After(d + time.Second):
+		}
+	}()
+}
+
+// TCPRelay accepts TCP connections and forwards them to a target,
+// pacing each direction at the shape's rate with added one-way delay.
+// The kernel's own TCP handles reliability below the relay, so loss is
+// not emulated here (shape.LossProb is ignored).
+type TCPRelay struct {
+	ln     net.Listener
+	target string
+	up     Shape
+	down   Shape
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewTCPRelay starts a TCP relay on listenAddr forwarding to targetAddr.
+func NewTCPRelay(listenAddr, targetAddr string, up, down Shape) (*TCPRelay, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	r := &TCPRelay{ln: ln, target: targetAddr, up: up, down: down, closed: make(chan struct{})}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the relay's client-facing address.
+func (r *TCPRelay) Addr() net.Addr { return r.ln.Addr() }
+
+// Close stops the relay. In-flight connections are severed.
+func (r *TCPRelay) Close() error {
+	select {
+	case <-r.closed:
+		return nil
+	default:
+	}
+	close(r.closed)
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *TCPRelay) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		c, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		upstream, err := net.Dial("tcp", r.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		r.wg.Add(2)
+		go r.pump(c, upstream, r.up)
+		go r.pump(upstream, c, r.down)
+	}
+}
+
+// pacedChunk is the pacing granularity for TCP byte streams.
+const pacedChunk = 8 * 1024
+
+// pump copies src to dst with shaped pacing until either side closes.
+func (r *TCPRelay) pump(src, dst net.Conn, shape Shape) {
+	defer r.wg.Done()
+	defer src.Close()
+	defer dst.Close()
+	p := newPacer(Shape{RateMbps: shape.RateMbps, Delay: shape.Delay}, 1)
+	buf := make([]byte, pacedChunk)
+	for {
+		select {
+		case <-r.closed:
+			return
+		default:
+		}
+		n, err := src.Read(buf)
+		if n > 0 {
+			deliverAt := p.admitStream(n)
+			if d := time.Until(deliverAt); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-r.closed:
+					return
+				}
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				return
+			}
+			return
+		}
+	}
+}

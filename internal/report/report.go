@@ -1,0 +1,190 @@
+// Package report renders figures as ASCII plots: CDF and time-series
+// line charts, horizontal bar charts and stacked coverage bars, so the
+// evaluation is readable straight from a terminal without a plotting
+// stack.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plot glyphs, one per series (cycled).
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Canvas is a fixed-size character grid for line plots.
+type Canvas struct {
+	w, h  int
+	cells [][]byte
+}
+
+// NewCanvas allocates a w x h canvas filled with spaces.
+func NewCanvas(w, h int) *Canvas {
+	cells := make([][]byte, h)
+	for i := range cells {
+		cells[i] = []byte(strings.Repeat(" ", w))
+	}
+	return &Canvas{w: w, h: h, cells: cells}
+}
+
+// Set marks cell (x, y) with glyph; y counts from the bottom.
+func (c *Canvas) Set(x, y int, glyph byte) {
+	if x < 0 || x >= c.w || y < 0 || y >= c.h {
+		return
+	}
+	c.cells[c.h-1-y][x] = glyph
+}
+
+// Rows returns the canvas rows top-to-bottom.
+func (c *Canvas) Rows() []string {
+	out := make([]string, c.h)
+	for i, row := range c.cells {
+		out[i] = string(row)
+	}
+	return out
+}
+
+// Line is one named series for a line plot.
+type Line struct {
+	Label string
+	X, Y  []float64
+}
+
+// LinePlot renders series as an ASCII line chart with axes and a legend.
+func LinePlot(title, xLabel, yLabel string, width, height int, lines []Line) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, l := range lines {
+		for i := range l.X {
+			xMin = math.Min(xMin, l.X[i])
+			xMax = math.Max(xMax, l.X[i])
+			yMin = math.Min(yMin, l.Y[i])
+			yMax = math.Max(yMax, l.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return title + ": (no data)\n"
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	cv := NewCanvas(width, height)
+	for si, l := range lines {
+		g := glyphs[si%len(glyphs)]
+		for i := range l.X {
+			px := int((l.X[i] - xMin) / (xMax - xMin) * float64(width-1))
+			py := int((l.Y[i] - yMin) / (yMax - yMin) * float64(height-1))
+			cv.Set(px, py, g)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yHi := fmt.Sprintf("%.4g", yMax)
+	yLo := fmt.Sprintf("%.4g", yMin)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	rows := cv.Rows()
+	for i, row := range rows {
+		label := strings.Repeat(" ", pad)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yHi)
+		case len(rows) - 1:
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", pad), width/2, xMin, width-width/2, xMax)
+	fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", pad), xLabel, yLabel)
+	for si, l := range lines {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", pad), glyphs[si%len(glyphs)], l.Label)
+	}
+	return b.String()
+}
+
+// Bar is one labelled value for a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width characters.
+func BarChart(title, unit string, width int, bars []Bar) string {
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for _, bar := range bars {
+		if bar.Value > maxV {
+			maxV = bar.Value
+		}
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, bar := range bars {
+		n := 0
+		if maxV > 0 {
+			n = int(bar.Value / maxV * float64(width))
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %.4g %s\n",
+			maxLabel, bar.Label, strings.Repeat("=", n), bar.Value, unit)
+	}
+	return b.String()
+}
+
+// Stacked is one column of a stacked-fraction chart (values sum ~1).
+type Stacked struct {
+	Label  string
+	Shares []float64
+}
+
+// StackedChart renders columns of stacked fractions using one glyph per
+// layer, e.g. the Fig. 9 performance-level coverage bars.
+func StackedChart(title string, layerNames []string, width int, cols []Stacked) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxLabel := 0
+	for _, c := range cols {
+		if len(c.Label) > maxLabel {
+			maxLabel = len(c.Label)
+		}
+	}
+	for _, c := range cols {
+		fmt.Fprintf(&b, "  %-*s |", maxLabel, c.Label)
+		for li, share := range c.Shares {
+			n := int(share * float64(width))
+			b.WriteString(strings.Repeat(string(glyphs[li%len(glyphs)]), n))
+		}
+		b.WriteString("|")
+		for li, share := range c.Shares {
+			fmt.Fprintf(&b, " %.1f%%", share*100)
+			_ = li
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  layers:")
+	for li, name := range layerNames {
+		fmt.Fprintf(&b, " %c=%s", glyphs[li%len(glyphs)], name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanvasSetAndBounds(t *testing.T) {
+	c := NewCanvas(10, 4)
+	c.Set(0, 0, '*')  // bottom-left
+	c.Set(9, 3, 'o')  // top-right
+	c.Set(-1, 0, 'x') // out of bounds: ignored
+	c.Set(0, 99, 'x')
+	rows := c.Rows()
+	if rows[3][0] != '*' {
+		t.Fatalf("bottom-left not set: %q", rows[3])
+	}
+	if rows[0][9] != 'o' {
+		t.Fatalf("top-right not set: %q", rows[0])
+	}
+	for _, r := range rows {
+		if strings.ContainsRune(r, 'x') {
+			t.Fatal("out-of-bounds write leaked onto canvas")
+		}
+	}
+}
+
+func TestLinePlotBasics(t *testing.T) {
+	out := LinePlot("cdf", "Mbps", "P", 40, 10, []Line{
+		{Label: "MOB", X: []float64{0, 50, 100}, Y: []float64{0, 0.5, 1}},
+		{Label: "VZ", X: []float64{0, 50, 100}, Y: []float64{0.2, 0.6, 1}},
+	})
+	for _, want := range []string{"cdf", "MOB", "VZ", "x: Mbps", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The axis labels include the data range.
+	if !strings.Contains(out, "100") {
+		t.Fatalf("x max missing:\n%s", out)
+	}
+}
+
+func TestLinePlotEmptyAndDegenerate(t *testing.T) {
+	if out := LinePlot("t", "x", "y", 30, 8, nil); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %q", out)
+	}
+	// A single point (degenerate ranges) must not panic or divide by 0.
+	out := LinePlot("t", "x", "y", 30, 8, []Line{{Label: "p", X: []float64{5}, Y: []float64{7}}})
+	if !strings.Contains(out, "p") {
+		t.Fatal("single-point plot broken")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("throughput", "Mbps", 20, []Bar{
+		{Label: "MOB", Value: 200},
+		{Label: "ATT", Value: 50},
+		{Label: "zero", Value: 0},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want title+3 bars, got %d lines", len(lines))
+	}
+	mob := strings.Count(lines[1], "=")
+	att := strings.Count(lines[2], "=")
+	if mob != 20 {
+		t.Fatalf("max bar should fill width: %d", mob)
+	}
+	if att != 5 {
+		t.Fatalf("ATT bar = %d, want 5 (50/200 of 20)", att)
+	}
+	if strings.Count(lines[3], "=") != 0 {
+		t.Fatal("zero bar should be empty")
+	}
+}
+
+func TestStackedChart(t *testing.T) {
+	out := StackedChart("coverage", []string{"very-low", "low", "medium", "high"}, 40, []Stacked{
+		{Label: "MOB", Shares: []float64{0.1, 0.1, 0.2, 0.6}},
+		{Label: "ATT", Shares: []float64{0.4, 0.2, 0.2, 0.2}},
+	})
+	for _, want := range []string{"MOB", "ATT", "60.0%", "layers:", "high"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stacked chart missing %q:\n%s", want, out)
+		}
+	}
+	// MOB's high layer (glyph 'x', index 3) should dominate its row.
+	mobRow := strings.Split(out, "\n")[1]
+	if strings.Count(mobRow, "x") < 20 {
+		t.Fatalf("high layer underdrawn: %q", mobRow)
+	}
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLognormalMedian(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = Lognormal(r, math.Log(100), 0.5)
+	}
+	med := Median(xs)
+	if med < 95 || med > 105 {
+		t.Fatalf("lognormal median = %v, want ~100", med)
+	}
+}
+
+func TestLognormalMeanMedian(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 50000
+	var sum float64
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = LognormalMeanMedian(r, 93, 130)
+		sum += xs[i]
+	}
+	med := Median(xs)
+	mean := sum / float64(n)
+	if med < 88 || med > 98 {
+		t.Fatalf("median = %v, want ~93", med)
+	}
+	if mean < 120 || mean > 140 {
+		t.Fatalf("mean = %v, want ~130", mean)
+	}
+	// Degenerate parameters fall back to the median.
+	if got := LognormalMeanMedian(r, 50, 40); got != 50 {
+		t.Fatalf("degenerate draw = %v, want 50", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestGilbertElliottStationaryLoss(t *testing.T) {
+	g := &GilbertElliott{
+		PGoodToBad: 0.01,
+		PBadToGood: 0.09,
+		LossGood:   0.001,
+		LossBad:    0.2,
+	}
+	want := g.StationaryLoss()
+	r := rand.New(rand.NewSource(3))
+	n := 400000
+	losses := 0
+	for i := 0; i < n; i++ {
+		if g.Step(r) {
+			losses++
+		}
+	}
+	got := float64(losses) / float64(n)
+	if math.Abs(got-want) > 0.15*want+0.001 {
+		t.Fatalf("empirical loss %v, stationary %v", got, want)
+	}
+}
+
+func TestGilbertElliottForceBad(t *testing.T) {
+	g := &GilbertElliott{PBadToGood: 0, LossBad: 1}
+	g.ForceBad()
+	if !g.Bad() {
+		t.Fatal("ForceBad did not enter bad state")
+	}
+	r := rand.New(rand.NewSource(0))
+	for i := 0; i < 10; i++ {
+		if !g.Step(r) {
+			t.Fatal("bad state with LossBad=1 must lose every packet")
+		}
+	}
+}
+
+func TestGilbertElliottZeroTransitions(t *testing.T) {
+	g := &GilbertElliott{LossGood: 0.5}
+	if got := g.StationaryLoss(); got != 0.5 {
+		t.Fatalf("StationaryLoss = %v, want 0.5 (good-state loss)", got)
+	}
+}
+
+func TestOrnsteinUhlenbeckMeanReversion(t *testing.T) {
+	o := &OrnsteinUhlenbeck{Mean: 100, Theta: 0.2, Sigma: 5}
+	r := rand.New(rand.NewSource(9))
+	var w Welford
+	for i := 0; i < 100000; i++ {
+		w.Add(o.Step(r))
+	}
+	if math.Abs(w.Mean()-100) > 2 {
+		t.Fatalf("OU mean = %v, want ~100", w.Mean())
+	}
+	// Stationary std of OU in discrete form ~ sigma/sqrt(2*theta - theta^2).
+	wantStd := 5 / math.Sqrt(2*0.2-0.04)
+	if math.Abs(w.StdDev()-wantStd) > 0.2*wantStd {
+		t.Fatalf("OU std = %v, want ~%v", w.StdDev(), wantStd)
+	}
+}
+
+func TestOrnsteinUhlenbeckReset(t *testing.T) {
+	o := &OrnsteinUhlenbeck{Mean: 100, Theta: 0.3, Sigma: 0}
+	r := rand.New(rand.NewSource(1))
+	o.Step(r)
+	o.Reset(200)
+	if o.Mean != 200 {
+		t.Fatalf("Mean after reset = %v", o.Mean)
+	}
+	// With sigma 0 and x == mean before reset, value scales proportionally.
+	if math.Abs(o.Value()-200) > 1e-9 {
+		t.Fatalf("Value after reset = %v, want 200", o.Value())
+	}
+	// Reset on a fresh process initialises directly.
+	var o2 OrnsteinUhlenbeck
+	o2.Reset(50)
+	if o2.Value() != 50 {
+		t.Fatalf("fresh Reset value = %v", o2.Value())
+	}
+}
+
+func TestTimeSeriesAddAndValues(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(0, 1)
+	ts.Add(time.Second, 2)
+	ts.Add(2*time.Second, 3)
+	if ts.Len() != 3 || ts.Duration() != 2*time.Second {
+		t.Fatalf("Len/Duration = %d/%v", ts.Len(), ts.Duration())
+	}
+	vs := ts.Values()
+	if vs[0] != 1 || vs[2] != 3 {
+		t.Fatalf("Values = %v", vs)
+	}
+}
+
+func TestTimeSeriesOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order Add")
+		}
+	}()
+	var ts TimeSeries
+	ts.Add(time.Second, 1)
+	ts.Add(0, 2)
+}
+
+func TestTimeSeriesResample(t *testing.T) {
+	var ts TimeSeries
+	for i := 0; i < 10; i++ {
+		ts.Add(time.Duration(i)*100*time.Millisecond, float64(i))
+	}
+	rs := ts.Resample(500 * time.Millisecond)
+	if rs.Len() != 2 {
+		t.Fatalf("resampled len = %d, want 2", rs.Len())
+	}
+	if rs.Points[0].V != 2 { // mean of 0..4
+		t.Fatalf("window0 = %v, want 2", rs.Points[0].V)
+	}
+	if rs.Points[1].V != 7 { // mean of 5..9
+		t.Fatalf("window1 = %v, want 7", rs.Points[1].V)
+	}
+}
+
+func TestTimeSeriesResampleEmptyWindows(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(0, 10)
+	ts.Add(3*time.Second, 20)
+	rs := ts.Resample(time.Second)
+	if rs.Len() != 4 {
+		t.Fatalf("len = %d, want 4", rs.Len())
+	}
+	if rs.Points[1].V != 0 || rs.Points[2].V != 0 {
+		t.Fatalf("empty windows should be 0: %+v", rs.Points)
+	}
+}
+
+func TestTimeSeriesMovingAverage(t *testing.T) {
+	var ts TimeSeries
+	ts.Add(0, 0)
+	ts.Add(time.Second, 10)
+	ts.Add(2*time.Second, 20)
+	ma := ts.MovingAverage(time.Second)
+	if ma.Points[2].V != 15 { // mean of points at t=1s and t=2s
+		t.Fatalf("moving average = %v, want 15", ma.Points[2].V)
+	}
+}
+
+func TestBucketed(t *testing.T) {
+	b := NewBucketed()
+	b.Add("urban", 10)
+	b.Add("urban", 20)
+	b.Add("rural", 5)
+	keys := b.Keys()
+	if len(keys) != 2 || keys[0] != "rural" || keys[1] != "urban" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if got := b.Summary("urban").Mean; got != 15 {
+		t.Fatalf("urban mean = %v", got)
+	}
+	if got := len(b.Values("rural")); got != 1 {
+		t.Fatalf("rural n = %d", got)
+	}
+}

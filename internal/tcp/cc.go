@@ -1,0 +1,237 @@
+// Package tcp implements a discrete-event TCP data-transfer model on top
+// of internal/emu: a bulk sender with NewReno or CUBIC congestion
+// control, RFC 6298 retransmission timers, duplicate-ACK fast
+// retransmit/fast recovery, a receive-window-limited receiver, and
+// retransmission accounting (the paper's Fig. 5 metric).
+//
+// The model is deliberately segment-level (no checksum/handshake
+// minutiae) but faithful where it matters for the paper's findings: how
+// congestion control reacts to the elevated random loss of the Starlink
+// path, and how the receive buffer throttles multipath transfers.
+package tcp
+
+import (
+	"math"
+	"time"
+)
+
+// MSS is the data payload carried per segment.
+const MSS = 1448
+
+// CongestionControl is the pluggable window-evolution algorithm of a
+// sender. All sizes are in bytes.
+type CongestionControl interface {
+	Name() string
+	// OnAck is called for every ACK that newly acknowledges acked bytes
+	// outside recovery episodes, with the latest RTT sample.
+	OnAck(acked int, rtt time.Duration)
+	// OnLoss is called when a loss episode begins (3rd duplicate ACK),
+	// with the sender's current flight size (RFC 5681 uses FlightSize,
+	// not cwnd, to derive ssthresh). It returns the new threshold.
+	OnLoss(flight int) int
+	// OnRTO is called on a retransmission timeout with the flight size.
+	OnRTO(flight int)
+	// ExitRecovery is called when the recovery episode completes.
+	ExitRecovery()
+	// Window returns the current congestion window in bytes.
+	Window() int
+	// InSlowStart reports whether the controller is in slow start.
+	InSlowStart() bool
+	// ExitSlowStart caps ssthresh at the current window (HyStart-style
+	// delay-based slow-start exit).
+	ExitSlowStart()
+	// Reset restores the initial state.
+	Reset()
+}
+
+// initialWindow is the standard 10-segment initial congestion window.
+const initialWindow = 10 * MSS
+
+// minWindow is the floor for the congestion window.
+const minWindow = 2 * MSS
+
+// NewReno implements RFC 6582 NewReno congestion control.
+type NewReno struct {
+	cwnd     int
+	ssthresh int
+}
+
+// NewNewReno returns a NewReno instance at its initial state.
+func NewNewReno() *NewReno {
+	r := &NewReno{}
+	r.Reset()
+	return r
+}
+
+// Name implements CongestionControl.
+func (r *NewReno) Name() string { return "newreno" }
+
+// Reset implements CongestionControl.
+func (r *NewReno) Reset() {
+	r.cwnd = initialWindow
+	r.ssthresh = math.MaxInt32
+}
+
+// Window implements CongestionControl.
+func (r *NewReno) Window() int { return r.cwnd }
+
+// OnAck implements CongestionControl.
+func (r *NewReno) OnAck(acked int, _ time.Duration) {
+	if r.cwnd < r.ssthresh {
+		// Slow start: one MSS per MSS acked.
+		r.cwnd += acked
+		if r.cwnd > r.ssthresh {
+			r.cwnd = r.ssthresh
+		}
+		return
+	}
+	// Congestion avoidance: ~one MSS per RTT.
+	inc := MSS * acked / r.cwnd
+	if inc < 1 {
+		inc = 1
+	}
+	r.cwnd += inc
+}
+
+// OnLoss implements CongestionControl.
+func (r *NewReno) OnLoss(flight int) int {
+	r.ssthresh = max(flight/2, minWindow)
+	return r.ssthresh
+}
+
+// ExitRecovery implements CongestionControl.
+func (r *NewReno) ExitRecovery() { r.cwnd = r.ssthresh }
+
+// OnRTO implements CongestionControl.
+func (r *NewReno) OnRTO(flight int) {
+	r.ssthresh = max(flight/2, minWindow)
+	r.cwnd = MSS
+}
+
+// InSlowStart implements CongestionControl.
+func (r *NewReno) InSlowStart() bool { return r.cwnd < r.ssthresh }
+
+// ExitSlowStart implements CongestionControl.
+func (r *NewReno) ExitSlowStart() { r.ssthresh = r.cwnd }
+
+// SetWindow overrides the congestion window (used during fast-recovery
+// inflation by the sender and by tests).
+func (r *NewReno) SetWindow(w int) { r.cwnd = max(w, minWindow) }
+
+// Cubic implements the CUBIC window-growth function (RFC 8312) with the
+// standard TCP-friendly region.
+type Cubic struct {
+	cwnd       int
+	ssthresh   int
+	wMax       float64       // window before the last reduction, in segments
+	epochStart time.Duration // -1 when no epoch
+	k          float64
+	now        time.Duration // advanced by OnAck rtt-stamped calls
+	clock      func() time.Duration
+	renoCwnd   float64
+}
+
+const (
+	cubicBeta = 0.7
+	cubicC    = 0.4
+)
+
+// NewCubic returns a CUBIC instance. clock supplies the current virtual
+// time (e.g. Engine.Now); it must not be nil.
+func NewCubic(clock func() time.Duration) *Cubic {
+	c := &Cubic{clock: clock}
+	c.Reset()
+	return c
+}
+
+// Name implements CongestionControl.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Reset implements CongestionControl.
+func (c *Cubic) Reset() {
+	c.cwnd = initialWindow
+	c.ssthresh = math.MaxInt32
+	c.wMax = 0
+	c.epochStart = -1
+	c.k = 0
+	c.renoCwnd = 0
+}
+
+// Window implements CongestionControl.
+func (c *Cubic) Window() int { return c.cwnd }
+
+// OnAck implements CongestionControl.
+func (c *Cubic) OnAck(acked int, rtt time.Duration) {
+	if c.cwnd < c.ssthresh {
+		c.cwnd += acked
+		if c.cwnd > c.ssthresh {
+			c.cwnd = c.ssthresh
+		}
+		return
+	}
+	now := c.clock()
+	if c.epochStart < 0 {
+		c.epochStart = now
+		seg := float64(c.cwnd) / MSS
+		if seg < c.wMax {
+			c.k = math.Cbrt((c.wMax - seg) / cubicC)
+		} else {
+			c.k = 0
+			c.wMax = seg
+		}
+		c.renoCwnd = seg
+	}
+	t := (now - c.epochStart).Seconds() + rtt.Seconds()
+	target := c.wMax + cubicC*math.Pow(t-c.k, 3) // segments
+
+	// TCP-friendly region (standard AIMD with beta 0.7).
+	c.renoCwnd += 3 * (1 - cubicBeta) / (1 + cubicBeta) * float64(acked) / (float64(c.cwnd) / MSS) / MSS
+	if target < c.renoCwnd {
+		target = c.renoCwnd
+	}
+
+	cur := float64(c.cwnd) / MSS
+	// Real CUBIC clamps the target to 1.5x the current window per RTT
+	// so the convex region cannot blow the window up in one step.
+	if target > 1.5*cur {
+		target = 1.5 * cur
+	}
+	if target > cur {
+		// Approach the target over roughly one RTT.
+		inc := (target - cur) / cur * float64(acked)
+		c.cwnd += int(inc)
+	} else {
+		c.cwnd += max(1, acked/(100*MSS)) // tiny growth when at target
+	}
+	if c.cwnd < minWindow {
+		c.cwnd = minWindow
+	}
+}
+
+// OnLoss implements CongestionControl.
+func (c *Cubic) OnLoss(flight int) int {
+	c.wMax = float64(max(c.cwnd, flight)) / MSS
+	c.epochStart = -1
+	c.ssthresh = max(int(float64(flight)*cubicBeta), minWindow)
+	return c.ssthresh
+}
+
+// ExitRecovery implements CongestionControl.
+func (c *Cubic) ExitRecovery() { c.cwnd = c.ssthresh }
+
+// OnRTO implements CongestionControl.
+func (c *Cubic) OnRTO(flight int) {
+	c.wMax = float64(max(c.cwnd, flight)) / MSS
+	c.epochStart = -1
+	c.ssthresh = max(int(float64(flight)*cubicBeta), minWindow)
+	c.cwnd = MSS
+}
+
+// InSlowStart implements CongestionControl.
+func (c *Cubic) InSlowStart() bool { return c.cwnd < c.ssthresh }
+
+// ExitSlowStart implements CongestionControl.
+func (c *Cubic) ExitSlowStart() { c.ssthresh = c.cwnd }
+
+// SetWindow overrides the congestion window.
+func (c *Cubic) SetWindow(w int) { c.cwnd = max(w, minWindow) }

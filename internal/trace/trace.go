@@ -1,0 +1,218 @@
+// Package trace persists and converts channel traces: a CSV format for
+// the driving dataset, the Mahimahi packet-delivery-opportunity format
+// used by MpShell-style emulators, and the timestamp alignment the
+// paper's §6 uses so that traces of different networks reflect the same
+// location and time.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"satcell/internal/channel"
+)
+
+// csvHeader is the column layout of the trace CSV format.
+var csvHeader = []string{
+	"at_ms", "down_mbps", "up_mbps", "rtt_ms",
+	"loss_down", "loss_up", "signal_db", "serving", "outage",
+}
+
+// WriteCSV writes tr in the satcell CSV trace format.
+func WriteCSV(w io.Writer, tr *channel.Trace) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"network"}, csvHeader...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, s := range tr.Samples {
+		rec := []string{
+			tr.Network.String(),
+			strconv.FormatInt(s.At.Milliseconds(), 10),
+			strconv.FormatFloat(s.DownMbps, 'f', 3, 64),
+			strconv.FormatFloat(s.UpMbps, 'f', 3, 64),
+			strconv.FormatFloat(float64(s.RTT.Microseconds())/1000, 'f', 3, 64),
+			strconv.FormatFloat(s.LossDown, 'f', 6, 64),
+			strconv.FormatFloat(s.LossUp, 'f', 6, 64),
+			strconv.FormatFloat(s.SignalDB, 'f', 2, 64),
+			s.Serving,
+			strconv.FormatBool(s.Outage),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*channel.Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader) + 1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if header[0] != "network" {
+		return nil, fmt.Errorf("trace: unexpected header %q", header[0])
+	}
+	tr := &channel.Trace{}
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read record: %w", err)
+		}
+		if first {
+			n, err := channel.ParseNetwork(rec[0])
+			if err != nil {
+				return nil, err
+			}
+			tr.Network = n
+			first = false
+		}
+		s, err := parseSample(rec[1:])
+		if err != nil {
+			return nil, err
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+	return tr, nil
+}
+
+func parseSample(rec []string) (channel.Sample, error) {
+	var s channel.Sample
+	atMs, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return s, fmt.Errorf("trace: bad at_ms %q: %w", rec[0], err)
+	}
+	s.At = time.Duration(atMs) * time.Millisecond
+	fields := []*float64{&s.DownMbps, &s.UpMbps, nil, &s.LossDown, &s.LossUp, &s.SignalDB}
+	for i, dst := range fields {
+		if dst == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(rec[1+i], 64)
+		if err != nil {
+			return s, fmt.Errorf("trace: bad field %d %q: %w", i, rec[1+i], err)
+		}
+		*dst = v
+	}
+	rttMs, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil {
+		return s, fmt.Errorf("trace: bad rtt %q: %w", rec[3], err)
+	}
+	s.RTT = time.Duration(rttMs * float64(time.Millisecond))
+	s.Serving = rec[7]
+	s.Outage, err = strconv.ParseBool(rec[8])
+	if err != nil {
+		return s, fmt.Errorf("trace: bad outage %q: %w", rec[8], err)
+	}
+	return s, nil
+}
+
+// mahimahiMTU is the bytes-per-opportunity constant of the Mahimahi
+// trace format: each line grants one 1500-byte delivery opportunity.
+const mahimahiMTU = 1500
+
+// WriteMahimahi converts the downlink capacity of tr into a Mahimahi
+// packet-delivery trace: one line per 1500-byte delivery opportunity,
+// each holding the opportunity's timestamp in integer milliseconds.
+// This is the conversion the paper performs to replay UDP throughput
+// traces on MpShell.
+func WriteMahimahi(w io.Writer, tr *channel.Trace, uplink bool) error {
+	bw := bufio.NewWriter(w)
+	var carry float64 // fractional opportunities carried between samples
+	for i, s := range tr.Samples {
+		// Sample i covers [s.At, next.At).
+		end := s.At + time.Second
+		if i+1 < len(tr.Samples) {
+			end = tr.Samples[i+1].At
+		}
+		durMs := float64(end-s.At) / float64(time.Millisecond)
+		if durMs <= 0 {
+			continue
+		}
+		rate := s.DownMbps
+		if uplink {
+			rate = s.UpMbps
+		}
+		// Opportunities in this window.
+		ops := rate * 1e6 / 8 / mahimahiMTU * durMs / 1000
+		total := ops + carry
+		n := int(total)
+		carry = total - float64(n)
+		startMs := float64(s.At) / float64(time.Millisecond)
+		for k := 0; k < n; k++ {
+			at := startMs + durMs*float64(k)/float64(n)
+			if _, err := fmt.Fprintf(bw, "%d\n", int64(at)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMahimahi parses a Mahimahi delivery-opportunity trace back into a
+// per-second capacity trace (Mbps), attributing each opportunity to its
+// second.
+func ReadMahimahi(r io.Reader, network channel.Network) (*channel.Trace, error) {
+	sc := bufio.NewScanner(r)
+	counts := make(map[int64]int64)
+	var maxSec int64
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		ms, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad mahimahi line %q: %w", line, err)
+		}
+		sec := ms / 1000
+		counts[sec]++
+		if sec > maxSec {
+			maxSec = sec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr := &channel.Trace{Network: network}
+	for sec := int64(0); sec <= maxSec; sec++ {
+		mbps := float64(counts[sec]) * mahimahiMTU * 8 / 1e6
+		tr.Samples = append(tr.Samples, channel.Sample{
+			At:       time.Duration(sec) * time.Second,
+			DownMbps: mbps,
+		})
+	}
+	return tr, nil
+}
+
+// Align trims a set of traces to their common time span (all traces are
+// assumed to start at the same instant, as the paper aligns them by
+// wall-clock timestamp) and returns copies covering [0, min duration).
+func Align(traces ...*channel.Trace) []*channel.Trace {
+	if len(traces) == 0 {
+		return nil
+	}
+	minDur := traces[0].Duration()
+	for _, tr := range traces[1:] {
+		if d := tr.Duration(); d < minDur {
+			minDur = d
+		}
+	}
+	out := make([]*channel.Trace, len(traces))
+	for i, tr := range traces {
+		out[i] = tr.Slice(0, minDur+1)
+	}
+	return out
+}

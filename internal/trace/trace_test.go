@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"satcell/internal/channel"
+)
+
+func sampleTrace(n channel.Network, secs int, down float64) *channel.Trace {
+	tr := &channel.Trace{Network: n}
+	for i := 0; i < secs; i++ {
+		tr.Samples = append(tr.Samples, channel.Sample{
+			At:       time.Duration(i) * time.Second,
+			DownMbps: down + float64(i),
+			UpMbps:   down / 10,
+			RTT:      55 * time.Millisecond,
+			LossDown: 0.005,
+			LossUp:   0.003,
+			SignalDB: -85.5,
+			Serving:  "SL-01-02",
+			Outage:   i == 3,
+		})
+	}
+	return tr
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace(channel.StarlinkMobility, 10, 100)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Network != tr.Network {
+		t.Fatalf("network %v != %v", got.Network, tr.Network)
+	}
+	if len(got.Samples) != len(tr.Samples) {
+		t.Fatalf("samples %d != %d", len(got.Samples), len(tr.Samples))
+	}
+	for i, s := range got.Samples {
+		want := tr.Samples[i]
+		if s.At != want.At || math.Abs(s.DownMbps-want.DownMbps) > 0.01 ||
+			s.Serving != want.Serving || s.Outage != want.Outage {
+			t.Fatalf("sample %d: %+v != %+v", i, s, want)
+		}
+		if s.RTT < want.RTT-time.Millisecond || s.RTT > want.RTT+time.Millisecond {
+			t.Fatalf("sample %d rtt %v != %v", i, s.RTT, want.RTT)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	bad := "network,at_ms,down_mbps,up_mbps,rtt_ms,loss_down,loss_up,signal_db,serving,outage\nXX,0,1,1,1,0,0,0,x,false\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown network should fail")
+	}
+}
+
+func TestMahimahiConversionPreservesRate(t *testing.T) {
+	tr := &channel.Trace{Network: channel.StarlinkRoam}
+	for i := 0; i < 20; i++ {
+		tr.Samples = append(tr.Samples, channel.Sample{
+			At:       time.Duration(i) * time.Second,
+			DownMbps: 60,
+			UpMbps:   6,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteMahimahi(&buf, tr, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMahimahi(&buf, channel.StarlinkRoam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All full seconds should read back at ~60 Mbps.
+	for _, s := range back.Samples[:19] {
+		if math.Abs(s.DownMbps-60) > 1.5 {
+			t.Fatalf("second %v rate %v, want ~60", s.At, s.DownMbps)
+		}
+	}
+}
+
+func TestMahimahiUplink(t *testing.T) {
+	tr := sampleTrace(channel.StarlinkMobility, 5, 100)
+	var down, up bytes.Buffer
+	if err := WriteMahimahi(&down, tr, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMahimahi(&up, tr, true); err != nil {
+		t.Fatal(err)
+	}
+	if down.Len() <= up.Len()*5 {
+		t.Fatal("downlink trace should have ~10x the opportunities of the uplink")
+	}
+}
+
+func TestMahimahiVariableRate(t *testing.T) {
+	tr := &channel.Trace{Network: channel.ATT}
+	rates := []float64{10, 100, 0, 50}
+	for i, r := range rates {
+		tr.Samples = append(tr.Samples, channel.Sample{
+			At: time.Duration(i) * time.Second, DownMbps: r,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteMahimahi(&buf, tr, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMahimahi(&buf, channel.ATT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range rates[:3] {
+		if math.Abs(back.Samples[i].DownMbps-want) > 2 {
+			t.Fatalf("second %d = %v, want %v", i, back.Samples[i].DownMbps, want)
+		}
+	}
+}
+
+func TestReadMahimahiBadLine(t *testing.T) {
+	if _, err := ReadMahimahi(strings.NewReader("12\nxx\n"), channel.ATT); err == nil {
+		t.Fatal("bad line should fail")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	a := sampleTrace(channel.StarlinkMobility, 20, 100)
+	b := sampleTrace(channel.Verizon, 12, 80)
+	aligned := Align(a, b)
+	if len(aligned) != 2 {
+		t.Fatal("wrong count")
+	}
+	da, db := aligned[0].Duration(), aligned[1].Duration()
+	if da != db {
+		t.Fatalf("durations differ after align: %v vs %v", da, db)
+	}
+	if len(aligned[1].Samples) != 12 {
+		t.Fatalf("shorter trace truncated: %d", len(aligned[1].Samples))
+	}
+	if Align() != nil {
+		t.Fatal("empty align should be nil")
+	}
+}
+
+func TestChannelTraceAt(t *testing.T) {
+	tr := sampleTrace(channel.TMobile, 10, 50)
+	if got := tr.At(-time.Second); got.At != 0 {
+		t.Fatal("before-start should clamp")
+	}
+	if got := tr.At(3500 * time.Millisecond); got.At != 3*time.Second {
+		t.Fatalf("At(3.5s) = %v", got.At)
+	}
+	if got := tr.At(time.Hour); got.At != 9*time.Second {
+		t.Fatal("past-end should clamp")
+	}
+	empty := &channel.Trace{}
+	if got := empty.At(0); got.DownMbps != 0 {
+		t.Fatal("empty trace sample should be zero")
+	}
+}
+
+func TestChannelTraceSeriesAndSlice(t *testing.T) {
+	tr := sampleTrace(channel.ATT, 10, 50)
+	ds := tr.DownSeries()
+	us := tr.UpSeries()
+	if len(ds) != 10 || len(us) != 10 || ds[0] != 50 || us[0] != 5 {
+		t.Fatalf("series broken: %v %v", ds[0], us[0])
+	}
+	sl := tr.Slice(2*time.Second, 5*time.Second)
+	if len(sl.Samples) != 3 {
+		t.Fatalf("slice len %d", len(sl.Samples))
+	}
+	if sl.Samples[0].At != 0 {
+		t.Fatal("slice should rebase time to zero")
+	}
+}
+
+func TestParseNetworkRoundTrip(t *testing.T) {
+	for _, n := range channel.Networks {
+		got, err := channel.ParseNetwork(n.String())
+		if err != nil || got != n {
+			t.Fatalf("round trip %v failed", n)
+		}
+	}
+	if _, err := channel.ParseNetwork("nope"); err == nil {
+		t.Fatal("bad name should fail")
+	}
+	if channel.StarlinkRoam.Cellular() || !channel.ATT.Cellular() {
+		t.Fatal("Cellular() misclassifies")
+	}
+	if !channel.StarlinkMobility.Satellite() || channel.Verizon.Satellite() {
+		t.Fatal("Satellite() misclassifies")
+	}
+}

@@ -1,0 +1,191 @@
+// Package udp models iPerf-style UDP tests on the emulator: a paced
+// constant-bit-rate sender and a receiver that measures goodput, loss
+// (by sequence gaps) and jitter (RFC 3550 smoothed inter-arrival
+// variation), matching the semantics of the paper's UDP bulk tests.
+package udp
+
+import (
+	"time"
+
+	"satcell/internal/emu"
+	"satcell/internal/stats"
+)
+
+// PayloadSize is the datagram payload used by the UDP tests.
+const PayloadSize = 1400
+
+// headerSize is the UDP/IP overhead per datagram.
+const headerSize = 28
+
+// datagram is the wire payload of a test packet.
+type datagram struct {
+	seq    int64
+	sentAt time.Duration
+}
+
+// Stats summarises one UDP flow at the receiver.
+type Stats struct {
+	Sent       int64
+	Received   int64
+	Bytes      int64
+	JitterMs   float64
+	OutOfOrder int64
+}
+
+// LossRate returns 1 - received/sent.
+func (s Stats) LossRate() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return 1 - float64(s.Received)/float64(s.Sent)
+}
+
+// Flow is a one-directional paced UDP test flow over an emulated link.
+type Flow struct {
+	eng  *emu.Engine
+	link *emu.Link
+	flow int
+
+	rateMbps float64
+	interval time.Duration
+	running  bool
+
+	// Receiver side.
+	expect     int64
+	stats      Stats
+	jitter     float64 // RFC 3550 estimator, seconds
+	lastTxTime time.Duration
+	lastRxTime time.Duration
+
+	goodput        stats.TimeSeries
+	window         time.Duration
+	curWindowStart time.Duration
+	curWindowBytes int64
+}
+
+// NewFlow creates a UDP flow sending on link under the given flow id at
+// rateMbps. window is the goodput sampling interval (default 1 s).
+// Register Deliver on the link's receiving mux before starting.
+func NewFlow(eng *emu.Engine, link *emu.Link, flow int, rateMbps float64, window time.Duration) *Flow {
+	if window <= 0 {
+		window = time.Second
+	}
+	f := &Flow{
+		eng:      eng,
+		link:     link,
+		flow:     flow,
+		rateMbps: rateMbps,
+		window:   window,
+	}
+	f.interval = time.Duration(float64((PayloadSize+headerSize)*8) / (rateMbps * 1e6) * float64(time.Second))
+	if f.interval <= 0 {
+		f.interval = time.Microsecond
+	}
+	return f
+}
+
+// NewDownlinkProbe builds a downlink capacity probe over dp: a flow that
+// offers more than the link can carry (iPerf UDP with a high target
+// rate), so received goodput tracks available capacity.
+func NewDownlinkProbe(eng *emu.Engine, dp *emu.DuplexPath, flow int, rateMbps float64) *Flow {
+	f := NewFlow(eng, dp.Down, flow, rateMbps, 0)
+	dp.DownMux.Register(flow, f.Deliver)
+	return f
+}
+
+// NewUplinkProbe builds an uplink capacity probe over dp.
+func NewUplinkProbe(eng *emu.Engine, dp *emu.DuplexPath, flow int, rateMbps float64) *Flow {
+	f := NewFlow(eng, dp.Up, flow, rateMbps, 0)
+	dp.UpMux.Register(flow, f.Deliver)
+	return f
+}
+
+// Start begins sending until Stop is called.
+func (f *Flow) Start() {
+	f.running = true
+	f.curWindowStart = f.eng.Now()
+	f.sendNext()
+}
+
+// Stop halts the sender.
+func (f *Flow) Stop() {
+	f.running = false
+	f.flushWindow(f.eng.Now())
+}
+
+// Stats returns the receiver-side statistics.
+func (f *Flow) Stats() Stats {
+	s := f.stats
+	s.JitterMs = f.jitter * 1000
+	return s
+}
+
+// Goodput returns the received-goodput series.
+func (f *Flow) Goodput() *stats.TimeSeries { return &f.goodput }
+
+// MeanGoodputMbps returns mean received rate over elapsed.
+func (f *Flow) MeanGoodputMbps(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(f.stats.Bytes*8) / elapsed.Seconds() / 1e6
+}
+
+func (f *Flow) sendNext() {
+	if !f.running {
+		return
+	}
+	seq := f.stats.Sent
+	f.stats.Sent++
+	f.link.Send(&emu.Packet{
+		Flow:    f.flow,
+		Seq:     seq,
+		Size:    PayloadSize + headerSize,
+		Payload: datagram{seq: seq, sentAt: f.eng.Now()},
+	})
+	f.eng.Schedule(f.interval, f.sendNext)
+}
+
+// Deliver is the receive hook.
+func (f *Flow) Deliver(p *emu.Packet) {
+	d, ok := p.Payload.(datagram)
+	if !ok {
+		return
+	}
+	now := f.eng.Now()
+	f.stats.Received++
+	f.stats.Bytes += PayloadSize
+	if d.seq < f.expect {
+		f.stats.OutOfOrder++
+	} else {
+		f.expect = d.seq + 1
+	}
+	// RFC 3550 jitter: smoothed |transit time difference|.
+	if f.lastRxTime > 0 {
+		dTransit := (now - d.sentAt) - (f.lastRxTime - f.lastTxTime)
+		if dTransit < 0 {
+			dTransit = -dTransit
+		}
+		f.jitter += (dTransit.Seconds() - f.jitter) / 16
+	}
+	f.lastTxTime = d.sentAt
+	f.lastRxTime = now
+	f.recordGoodput(now, PayloadSize)
+}
+
+func (f *Flow) recordGoodput(now time.Duration, bytes int64) {
+	for now >= f.curWindowStart+f.window {
+		f.flushWindow(f.curWindowStart + f.window)
+	}
+	f.curWindowBytes += bytes
+}
+
+func (f *Flow) flushWindow(boundary time.Duration) {
+	if boundary <= f.curWindowStart {
+		return
+	}
+	mbps := float64(f.curWindowBytes*8) / f.window.Seconds() / 1e6
+	f.goodput.Add(f.curWindowStart, mbps)
+	f.curWindowStart = boundary
+	f.curWindowBytes = 0
+}

@@ -1,0 +1,167 @@
+package udp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"satcell/internal/channel"
+	"satcell/internal/emu"
+)
+
+func flatTrace(down, up float64, rtt time.Duration, lossDown float64, secs int) *channel.Trace {
+	tr := &channel.Trace{Network: channel.StarlinkMobility}
+	for i := 0; i <= secs; i++ {
+		tr.Samples = append(tr.Samples, channel.Sample{
+			At:       time.Duration(i) * time.Second,
+			DownMbps: down,
+			UpMbps:   up,
+			RTT:      rtt,
+			LossDown: lossDown,
+		})
+	}
+	return tr
+}
+
+func TestCBRUnderCapacity(t *testing.T) {
+	eng := emu.NewEngine()
+	dp := emu.NewDuplexPath(eng, flatTrace(100, 10, 40*time.Millisecond, 0, 20), emu.PathConfig{Seed: 1})
+	f := NewDownlinkProbe(eng, dp, 1, 30)
+	f.Start()
+	eng.RunUntil(10 * time.Second)
+	f.Stop()
+	eng.Run()
+	got := f.MeanGoodputMbps(10 * time.Second)
+	if math.Abs(got-30) > 2 {
+		t.Fatalf("goodput = %v, want ~30", got)
+	}
+	if f.Stats().LossRate() > 0.01 {
+		t.Fatalf("loss = %v on an under-capacity flow", f.Stats().LossRate())
+	}
+}
+
+func TestCBRProbeMeasuresCapacity(t *testing.T) {
+	// Offer 300 Mbps into a 120 Mbps link: received rate == capacity.
+	eng := emu.NewEngine()
+	dp := emu.NewDuplexPath(eng, flatTrace(120, 12, 40*time.Millisecond, 0, 20), emu.PathConfig{Seed: 2})
+	f := NewDownlinkProbe(eng, dp, 1, 300)
+	f.Start()
+	eng.RunUntil(10 * time.Second)
+	f.Stop()
+	got := f.MeanGoodputMbps(10 * time.Second)
+	if math.Abs(got-120) > 6 {
+		t.Fatalf("probe measured %v, want ~120", got)
+	}
+	// Offered 300, carried 120: loss ~60%.
+	if lr := f.Stats().LossRate(); lr < 0.5 || lr > 0.7 {
+		t.Fatalf("loss rate = %v, want ~0.6", lr)
+	}
+}
+
+func TestUplinkProbe(t *testing.T) {
+	eng := emu.NewEngine()
+	dp := emu.NewDuplexPath(eng, flatTrace(120, 15, 40*time.Millisecond, 0, 20), emu.PathConfig{Seed: 3})
+	f := NewUplinkProbe(eng, dp, 2, 100)
+	f.Start()
+	eng.RunUntil(8 * time.Second)
+	f.Stop()
+	got := f.MeanGoodputMbps(8 * time.Second)
+	if math.Abs(got-15) > 2 {
+		t.Fatalf("uplink probe = %v, want ~15", got)
+	}
+}
+
+func TestRandomLossMeasured(t *testing.T) {
+	eng := emu.NewEngine()
+	dp := emu.NewDuplexPath(eng, flatTrace(100, 10, 40*time.Millisecond, 0.05, 30), emu.PathConfig{Seed: 4})
+	f := NewDownlinkProbe(eng, dp, 1, 50)
+	f.Start()
+	eng.RunUntil(20 * time.Second)
+	f.Stop()
+	lr := f.Stats().LossRate()
+	if lr < 0.03 || lr > 0.08 {
+		t.Fatalf("measured loss %v, want ~0.05", lr)
+	}
+}
+
+func TestGoodputSeries(t *testing.T) {
+	eng := emu.NewEngine()
+	dp := emu.NewDuplexPath(eng, flatTrace(60, 6, 30*time.Millisecond, 0, 20), emu.PathConfig{Seed: 5})
+	f := NewDownlinkProbe(eng, dp, 1, 40)
+	f.Start()
+	eng.RunUntil(10 * time.Second)
+	f.Stop()
+	pts := f.Goodput().Points
+	if len(pts) < 9 {
+		t.Fatalf("series too short: %d", len(pts))
+	}
+	for _, p := range pts[1:9] {
+		if math.Abs(p.V-40) > 4 {
+			t.Fatalf("interval %v = %v Mbps, want ~40", p.At, p.V)
+		}
+	}
+}
+
+func TestJitterReflectsQueueing(t *testing.T) {
+	eng := emu.NewEngine()
+	// Saturated link: queue builds and drains, transit varies.
+	dp := emu.NewDuplexPath(eng, flatTrace(20, 5, 40*time.Millisecond, 0, 20), emu.PathConfig{Seed: 6})
+	sat := NewDownlinkProbe(eng, dp, 1, 40)
+	sat.Start()
+	eng.RunUntil(10 * time.Second)
+	sat.Stop()
+	if sat.Stats().JitterMs <= 0 {
+		t.Fatal("saturated flow should show positive jitter")
+	}
+}
+
+func TestPingerRTTAndLoss(t *testing.T) {
+	eng := emu.NewEngine()
+	dp := emu.NewDuplexPath(eng, flatTrace(100, 10, 60*time.Millisecond, 0, 30), emu.PathConfig{Seed: 7})
+	p := NewPinger(eng, dp, 9, 100*time.Millisecond)
+	p.Start()
+	eng.RunUntil(20 * time.Second)
+	p.Stop()
+	eng.Run()
+	st := p.Stats()
+	if st.Sent < 190 {
+		t.Fatalf("sent %d probes", st.Sent)
+	}
+	if st.LossRate() > 0.01 {
+		t.Fatalf("loss %v on clean path", st.LossRate())
+	}
+	for _, ms := range st.RTTsMs() {
+		if ms < 59 || ms > 75 {
+			t.Fatalf("RTT %v ms outside expected band", ms)
+		}
+	}
+	if len(st.RTTs) != int(st.Received) {
+		t.Fatal("RTT sample count mismatch")
+	}
+}
+
+func TestPingerCountsLosses(t *testing.T) {
+	eng := emu.NewEngine()
+	tr := flatTrace(100, 10, 50*time.Millisecond, 0.2, 30) // 20% downlink loss
+	dp := emu.NewDuplexPath(eng, tr, emu.PathConfig{Seed: 8})
+	p := NewPinger(eng, dp, 9, 50*time.Millisecond)
+	p.Start()
+	eng.RunUntil(25 * time.Second)
+	p.Stop()
+	eng.Run()
+	lr := p.Stats().LossRate()
+	if lr < 0.12 || lr > 0.3 {
+		t.Fatalf("ping loss %v, want ~0.2", lr)
+	}
+}
+
+func TestStatsZeroValues(t *testing.T) {
+	var s Stats
+	if s.LossRate() != 0 {
+		t.Fatal("empty stats loss should be 0")
+	}
+	var ps PingStats
+	if ps.LossRate() != 0 {
+		t.Fatal("empty ping stats loss should be 0")
+	}
+}

@@ -1,0 +1,165 @@
+// Package satcell reproduces "LEO Satellite vs. Cellular Networks:
+// Exploring the Potential for Synergistic Integration" (CoNEXT
+// Companion 2023) as a Go library: a synthetic five-state drive world
+// with Starlink-like LEO and cellular channel models, the paper's
+// measurement toolkit (iPerf-style throughput tests, UDP-Ping, a
+// tracker), a Mahimahi/MpShell-style emulator with TCP and MPTCP
+// transports, and an analysis harness that regenerates every figure of
+// the paper's evaluation.
+//
+// Quick start:
+//
+//	world := satcell.NewWorld(42)
+//	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: 0.1})
+//	figs := world.Figures(ds, satcell.FigureOptions{})
+//	fmt.Println(figs["fig3a"].Render())
+//
+// The heavy lifting lives in the internal packages (internal/leo,
+// internal/cell, internal/emu, internal/tcp, internal/mptcp, ...); this
+// package is the stable entry point used by the example programs, the
+// command-line tools and the benchmark harness.
+package satcell
+
+import (
+	"io"
+
+	"satcell/internal/channel"
+	"satcell/internal/core"
+	"satcell/internal/dataset"
+	"satcell/internal/trace"
+)
+
+// Re-exported core types, so callers only import this package.
+type (
+	// Dataset is the generated driving dataset (tests + drive traces).
+	Dataset = dataset.Dataset
+	// Test is one network test of the campaign.
+	Test = dataset.Test
+	// Figure is one reproduced paper figure with its KPIs.
+	Figure = core.Figure
+	// ExperimentRow is one line of the paper-vs-measured record.
+	ExperimentRow = core.ExperimentRow
+	// Network identifies one of the five measured services.
+	Network = channel.Network
+	// Trace is a time series of channel conditions for one network.
+	Trace = channel.Trace
+)
+
+// The five measured networks.
+const (
+	StarlinkRoam     = channel.StarlinkRoam
+	StarlinkMobility = channel.StarlinkMobility
+	ATT              = channel.ATT
+	TMobile          = channel.TMobile
+	Verizon          = channel.Verizon
+)
+
+// World is a reproducible instance of the study: everything derives
+// deterministically from its seed.
+type World struct {
+	seed int64
+}
+
+// NewWorld creates a world from a seed.
+func NewWorld(seed int64) *World { return &World{seed: seed} }
+
+// DatasetOptions tunes dataset generation.
+type DatasetOptions struct {
+	// Scale scales the campaign: 1.0 reproduces the paper's ~3,800 km
+	// and ~1,239 tests; the default 0.1 generates a tenth of that.
+	Scale float64
+}
+
+// GenerateDataset runs the measurement campaign.
+func (w *World) GenerateDataset(opts DatasetOptions) *Dataset {
+	if opts.Scale <= 0 {
+		opts.Scale = 0.1
+	}
+	return dataset.Generate(dataset.Config{Seed: w.seed, Scale: opts.Scale})
+}
+
+// FigureOptions tunes the analysis harness.
+type FigureOptions struct {
+	// MultipathWindowSeconds is the replay length of the §6 MPTCP
+	// experiments (default 300, the paper's 5-minute tests).
+	MultipathWindowSeconds int
+	// MultipathWindows is how many aligned windows to replay (default 3).
+	MultipathWindows int
+}
+
+// Figures regenerates every figure of the paper keyed by ID ("fig1",
+// "fig3a", ..., "fig11", "eq1", "dataset").
+func (w *World) Figures(ds *Dataset, opts FigureOptions) map[string]*Figure {
+	mp := core.MultipathConfig{
+		WindowSeconds: opts.MultipathWindowSeconds,
+		Windows:       opts.MultipathWindows,
+	}
+	return core.AllFigures(ds, mp)
+}
+
+// Figure regenerates a single figure by ID (cheaper than Figures when
+// only one is needed; fig10/fig11 still run packet-level replays).
+func (w *World) Figure(ds *Dataset, id string, opts FigureOptions) *Figure {
+	a := core.NewAnalyzer(ds)
+	mp := core.MultipathConfig{
+		WindowSeconds: opts.MultipathWindowSeconds,
+		Windows:       opts.MultipathWindows,
+	}
+	switch id {
+	case "fig1":
+		return a.Figure1()
+	case "fig3a":
+		return a.Figure3a()
+	case "fig3b":
+		return a.Figure3b()
+	case "fig3c":
+		return a.Figure3c()
+	case "fig4":
+		return a.Figure4()
+	case "fig5":
+		return a.Figure5()
+	case "fig6":
+		return a.Figure6()
+	case "fig7":
+		return a.Figure7()
+	case "fig8":
+		return a.Figure8()
+	case "fig9":
+		return a.Figure9()
+	case "fig10":
+		return a.Figure10(mp)
+	case "fig11":
+		return a.Figure11(mp)
+	case "eq1":
+		return a.Equation1()
+	case "dataset":
+		return a.DatasetSummary()
+	default:
+		return nil
+	}
+}
+
+// Experiments evaluates the paper-vs-measured record over figures.
+func Experiments(figs map[string]*Figure) []ExperimentRow {
+	return core.Experiments(figs)
+}
+
+// RenderExperiments formats the record as a markdown table.
+func RenderExperiments(rows []ExperimentRow) string {
+	return core.RenderExperiments(rows)
+}
+
+// FigureIDs returns the sorted identifiers of a figure map.
+func FigureIDs(figs map[string]*Figure) []string { return core.FigureIDs(figs) }
+
+// WriteTraceCSV writes a channel trace in the satcell CSV format.
+func WriteTraceCSV(w io.Writer, tr *Trace) error { return trace.WriteCSV(w, tr) }
+
+// ReadTraceCSV reads a channel trace written by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// WriteMahimahi converts a trace to the Mahimahi delivery-opportunity
+// format used by MpShell-style emulators.
+func WriteMahimahi(w io.Writer, tr *Trace, uplink bool) error {
+	return trace.WriteMahimahi(w, tr, uplink)
+}
