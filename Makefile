@@ -1,0 +1,30 @@
+# Tier-1 verification for satcell. `make check` is the gate every PR
+# must keep green: full build + vet + tests, plus a race-detector pass
+# over the packages with concurrent code (the parallel campaign
+# generation pipeline and the analyzer query index).
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The worker pool lives in internal/dataset; internal/core reads the
+# generated dataset and builds the memoized query index. Both must stay
+# race-clean for every Workers value. Race instrumentation makes the
+# core calibration gate several times slower than its ~1.5 min normal
+# run, so give it headroom beyond go test's default 10 min timeout.
+race:
+	$(GO) test -race -timeout 45m ./internal/dataset/ ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -8,6 +8,7 @@ package satcell_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -206,6 +207,28 @@ func BenchmarkGenerateDataset(b *testing.B) {
 		if len(ds.Tests) == 0 {
 			b.Fatal("empty dataset")
 		}
+	}
+}
+
+// BenchmarkGenerate compares serial and parallel campaign generation at
+// the benchmark scale (0.25 ≈ 950 km, ~400 tests). Output is
+// bit-identical across worker counts (TestGenerateWorkersBitIdentical),
+// so the sub-benchmarks measure pure pipeline speedup; EXPERIMENTS.md
+// records the ratio.
+func BenchmarkGenerate(b *testing.B) {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds := dataset.Generate(dataset.Config{Seed: 42, Scale: benchScale, Workers: workers})
+				if len(ds.Tests) == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
 	}
 }
 

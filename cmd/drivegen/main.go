@@ -21,14 +21,15 @@ import (
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.1, "campaign scale (1.0 = the paper's ~3,800 km)")
-		seed  = flag.Int64("seed", 42, "world seed")
-		out   = flag.String("out", "data", "output directory")
+		scale   = flag.Float64("scale", 0.1, "campaign scale (1.0 = the paper's ~3,800 km)")
+		seed    = flag.Int64("seed", 42, "world seed")
+		out     = flag.String("out", "data", "output directory")
+		workers = flag.Int("workers", 0, "generation worker goroutines (0 = all cores; output is identical for any value)")
 	)
 	flag.Parse()
 
 	world := satcell.NewWorld(*seed)
-	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale})
+	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale, Workers: *workers})
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatalf("drivegen: %v", err)
 	}

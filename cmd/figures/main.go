@@ -24,12 +24,13 @@ func main() {
 		expOnly = flag.Bool("experiments", false, "print only the paper-vs-measured table")
 		mpWin   = flag.Int("mp-window", 300, "MPTCP replay window (seconds)")
 		mpN     = flag.Int("mp-windows", 3, "MPTCP replay window count")
+		workers = flag.Int("workers", 0, "generation worker goroutines (0 = all cores; output is identical for any value)")
 	)
 	flag.Parse()
 
 	world := satcell.NewWorld(*seed)
 	fmt.Fprintf(os.Stderr, "generating dataset (scale %.2f)...\n", *scale)
-	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale})
+	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale, Workers: *workers})
 	opts := satcell.FigureOptions{MultipathWindowSeconds: *mpWin, MultipathWindows: *mpN}
 
 	if *only != "" {

@@ -72,6 +72,14 @@ func NewModel(carrier Carrier, seed int64) *Model {
 	return m
 }
 
+// ModelBuilder returns a channel.Builder producing independent Model
+// instances for the carrier; every instance starts its random stream
+// from the same seed, making a fresh model per drive equivalent to a
+// Reset() on a shared one.
+func ModelBuilder(carrier Carrier, seed int64) channel.Builder {
+	return func() channel.Model { return NewModel(carrier, seed) }
+}
+
 // Network implements channel.Model.
 func (m *Model) Network() channel.Network { return m.carrier.Network }
 

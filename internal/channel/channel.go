@@ -105,6 +105,13 @@ type Model interface {
 	Reset()
 }
 
+// Builder constructs a fresh, independent Model instance. Parallel
+// campaign generation builds one model per unit of work (one network
+// over one drive) instead of sharing a Reset() model across drives, so
+// a Builder must return instances whose random streams start exactly
+// where Reset() would leave them.
+type Builder func() Model
+
 // Trace is an ordered sequence of samples from one model.
 type Trace struct {
 	Network Network

@@ -11,10 +11,15 @@ import (
 	"satcell/internal/stats"
 )
 
-// Analyzer runs the paper's analyses over a generated dataset.
+// Analyzer runs the paper's analyses over a generated dataset. It
+// carries a lazily built query index (see index.go) so the ~12 figure
+// analyses share memoized per-(network, kind) test buckets and pooled
+// per-second sample slices instead of re-scanning the whole dataset.
 type Analyzer struct {
 	DS   *dataset.Dataset
 	Seed int64
+
+	idx queryIndex
 }
 
 // NewAnalyzer wraps a dataset.
@@ -27,16 +32,21 @@ var cellularNetworks = []channel.Network{channel.ATT, channel.TMobile, channel.V
 
 // perSecond pools the per-second goodput samples of the given tests.
 func perSecond(tests []*dataset.Test) []float64 {
-	var out []float64
+	total := 0
+	for _, t := range tests {
+		total += len(t.Series)
+	}
+	out := make([]float64, 0, total)
 	for _, t := range tests {
 		out = append(out, t.Series...)
 	}
 	return out
 }
 
-// cdfSeries converts samples into a plottable CDF series.
-func cdfSeries(label string, xs []float64) Series {
-	c := stats.NewCDF(xs)
+// cdfSeries converts an already-built CDF into a plottable series; the
+// caller keeps the CDF around for quantile KPIs so the sample is sorted
+// exactly once.
+func cdfSeries(label string, c *stats.CDF) Series {
 	px, py := c.Points(101)
 	return Series{Label: label, X: px, Y: py}
 }
@@ -77,18 +87,18 @@ func (a *Analyzer) Figure3a() *Figure {
 		ID: "fig3a", Title: "TCP vs UDP downlink throughput CDFs",
 		Kind: CDF, XLabel: "throughput (Mbps)", YLabel: "CDF",
 	}
-	mobTCP := perSecond(a.DS.Filter(dataset.ByNetwork(channel.StarlinkMobility), dataset.ByKind(dataset.TCPDown)))
-	mobUDP := perSecond(a.DS.Filter(dataset.ByNetwork(channel.StarlinkMobility), dataset.ByKind(dataset.UDPDown)))
+	mobTCP := a.PerSecond(channel.StarlinkMobility, dataset.TCPDown)
+	mobUDP := a.PerSecond(channel.StarlinkMobility, dataset.UDPDown)
 	var cellTCP, cellUDP []float64
 	for _, n := range cellularNetworks {
-		cellTCP = append(cellTCP, perSecond(a.DS.Filter(dataset.ByNetwork(n), dataset.ByKind(dataset.TCPDown)))...)
-		cellUDP = append(cellUDP, perSecond(a.DS.Filter(dataset.ByNetwork(n), dataset.ByKind(dataset.UDPDown)))...)
+		cellTCP = append(cellTCP, a.PerSecond(n, dataset.TCPDown)...)
+		cellUDP = append(cellUDP, a.PerSecond(n, dataset.UDPDown)...)
 	}
 	f.Series = []Series{
-		cdfSeries("MOB-TCP", mobTCP),
-		cdfSeries("Cellular-TCP", cellTCP),
-		cdfSeries("MOB-UDP", mobUDP),
-		cdfSeries("Cellular-UDP", cellUDP),
+		cdfSeries("MOB-TCP", stats.NewCDF(mobTCP)),
+		cdfSeries("Cellular-TCP", stats.NewCDF(cellTCP)),
+		cdfSeries("MOB-UDP", stats.NewCDF(mobUDP)),
+		cdfSeries("Cellular-UDP", stats.NewCDF(cellUDP)),
 	}
 	f.addKPI("mob_udp_mean_mbps", stats.Mean(mobUDP))
 	f.addKPI("mob_tcp_mean_mbps", stats.Mean(mobTCP))
@@ -105,14 +115,15 @@ func (a *Analyzer) Figure3b() *Figure {
 		ID: "fig3b", Title: "Roam vs Mobility UDP downlink throughput CDFs",
 		Kind: CDF, XLabel: "throughput (Mbps)", YLabel: "CDF",
 	}
-	rm := perSecond(a.DS.Filter(dataset.ByNetwork(channel.StarlinkRoam), dataset.ByKind(dataset.UDPDown)))
-	mob := perSecond(a.DS.Filter(dataset.ByNetwork(channel.StarlinkMobility), dataset.ByKind(dataset.UDPDown)))
-	f.Series = []Series{cdfSeries("RM", rm), cdfSeries("MOB", mob)}
-	f.addKPI("mob_median_mbps", stats.Median(mob))
+	rm := a.PerSecond(channel.StarlinkRoam, dataset.UDPDown)
+	mob := a.PerSecond(channel.StarlinkMobility, dataset.UDPDown)
+	rmC, mobC := stats.NewCDF(rm), stats.NewCDF(mob)
+	f.Series = []Series{cdfSeries("RM", rmC), cdfSeries("MOB", mobC)}
+	f.addKPI("mob_median_mbps", mobC.Median())
 	f.addKPI("mob_mean_mbps", stats.Mean(mob))
-	f.addKPI("rm_median_mbps", stats.Median(rm))
+	f.addKPI("rm_median_mbps", rmC.Median())
 	f.addKPI("rm_mean_mbps", stats.Mean(rm))
-	f.addKPI("rm_p75_mbps", stats.Quantile(rm, 0.75))
+	f.addKPI("rm_p75_mbps", rmC.Quantile(0.75))
 	return f
 }
 
@@ -122,9 +133,9 @@ func (a *Analyzer) Figure3c() *Figure {
 		ID: "fig3c", Title: "Starlink uplink vs downlink UDP throughput CDFs",
 		Kind: CDF, XLabel: "throughput (Mbps)", YLabel: "CDF",
 	}
-	down := perSecond(a.DS.Filter(dataset.ByNetwork(channel.StarlinkMobility), dataset.ByKind(dataset.UDPDown)))
-	up := perSecond(a.DS.Filter(dataset.ByNetwork(channel.StarlinkMobility), dataset.ByKind(dataset.UDPUp)))
-	f.Series = []Series{cdfSeries("Uplink", up), cdfSeries("Downlink", down)}
+	down := a.PerSecond(channel.StarlinkMobility, dataset.UDPDown)
+	up := a.PerSecond(channel.StarlinkMobility, dataset.UDPUp)
+	f.Series = []Series{cdfSeries("Uplink", stats.NewCDF(up)), cdfSeries("Downlink", stats.NewCDF(down))}
 	f.addKPI("down_mean_mbps", stats.Mean(down))
 	f.addKPI("up_mean_mbps", stats.Mean(up))
 	f.addKPI("down_up_ratio", safeRatio(stats.Mean(down), stats.Mean(up)))
@@ -139,12 +150,13 @@ func (a *Analyzer) Figure4() *Figure {
 	}
 	for _, n := range channel.Networks {
 		var rtts []float64
-		for _, t := range a.DS.Filter(dataset.ByNetwork(n), dataset.ByKind(dataset.Ping)) {
+		for _, t := range a.Tests(n, dataset.Ping) {
 			rtts = append(rtts, t.RTTsMs...)
 		}
-		f.Series = append(f.Series, cdfSeries(n.String(), rtts))
-		f.addKPI("median_ms_"+n.String(), stats.Median(rtts))
-		f.addKPI("p90_ms_"+n.String(), stats.Quantile(rtts, 0.9))
+		c := stats.NewCDF(rtts)
+		f.Series = append(f.Series, cdfSeries(n.String(), c))
+		f.addKPI("median_ms_"+n.String(), c.Median())
+		f.addKPI("p90_ms_"+n.String(), c.Quantile(0.9))
 	}
 	return f
 }
@@ -159,8 +171,8 @@ func (a *Analyzer) Figure5() *Figure {
 	downS := Series{Label: "downlink"}
 	upS := Series{Label: "uplink"}
 	for i, n := range channel.Networks {
-		down := meanRetrans(a.DS.Filter(dataset.ByNetwork(n), dataset.ByKind(dataset.TCPDown)))
-		up := meanRetrans(a.DS.Filter(dataset.ByNetwork(n), dataset.ByKind(dataset.TCPUp)))
+		down := meanRetrans(a.Tests(n, dataset.TCPDown))
+		up := meanRetrans(a.Tests(n, dataset.TCPUp))
 		downS.X = append(downS.X, float64(i))
 		downS.Y = append(downS.Y, down)
 		upS.X = append(upS.X, float64(i))
@@ -252,10 +264,10 @@ func (a *Analyzer) Figure7() *Figure {
 		}
 		return (m4/m1 - 1) * 100, (m8/m1 - 1) * 100
 	}
-	rm1 := a.DS.Filter(dataset.ByNetwork(channel.StarlinkRoam), dataset.ByKind(dataset.TCPDown, dataset.TCPDown4P, dataset.TCPDown8P))
+	rm1 := a.Tests(channel.StarlinkRoam, dataset.TCPDown, dataset.TCPDown4P, dataset.TCPDown8P)
 	var c1 []*dataset.Test
 	for _, n := range cellularNetworks {
-		c1 = append(c1, a.DS.Filter(dataset.ByNetwork(n), dataset.ByKind(dataset.TCPDown, dataset.TCPDown4P, dataset.TCPDown8P))...)
+		c1 = append(c1, a.Tests(n, dataset.TCPDown, dataset.TCPDown4P, dataset.TCPDown8P)...)
 	}
 	rm4g, rm8g := gains(rm1)
 	c4g, c8g := gains(c1)

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sync"
+
+	"satcell/internal/channel"
+	"satcell/internal/dataset"
+	"satcell/internal/geo"
+)
+
+// bucketKey identifies one (network, kind) test bucket of the index.
+type bucketKey struct {
+	net  channel.Network
+	kind dataset.Kind
+}
+
+// areaKey identifies one (network, kind, area) test bucket.
+type areaKey struct {
+	net  channel.Network
+	kind dataset.Kind
+	area geo.AreaType
+}
+
+// queryIndex memoizes the dataset lookups the figure analyses repeat:
+// per-(network, kind) test buckets in dataset order, the same buckets
+// split by majority area type, and the pooled per-second goodput
+// samples of each bucket. It is built in one pass over the dataset the
+// first time any figure asks, replacing Filter's O(tests × predicates)
+// scan per query — Figure3a alone used to run eight full scans.
+type queryIndex struct {
+	once   sync.Once
+	tests  map[bucketKey][]*dataset.Test
+	byArea map[areaKey][]*dataset.Test
+	pooled map[bucketKey][]float64
+}
+
+func (ix *queryIndex) build(ds *dataset.Dataset) {
+	ix.tests = make(map[bucketKey][]*dataset.Test)
+	ix.byArea = make(map[areaKey][]*dataset.Test)
+	for i := range ds.Tests {
+		t := &ds.Tests[i]
+		k := bucketKey{t.Network, t.Kind}
+		ix.tests[k] = append(ix.tests[k], t)
+		ak := areaKey{t.Network, t.Kind, t.Area}
+		ix.byArea[ak] = append(ix.byArea[ak], t)
+	}
+	ix.pooled = make(map[bucketKey][]float64, len(ix.tests))
+	for k, ts := range ix.tests {
+		ix.pooled[k] = perSecond(ts)
+	}
+}
+
+// index returns the analyzer's query index, building it on first use.
+func (a *Analyzer) index() *queryIndex {
+	a.idx.once.Do(func() { a.idx.build(a.DS) })
+	return &a.idx
+}
+
+// Tests returns the tests of one network matching any of the kinds, in
+// dataset order — the same tests, in the same order, Filter(ByNetwork,
+// ByKind) would return. The slice is shared index state: callers must
+// not modify it.
+func (a *Analyzer) Tests(n channel.Network, kinds ...dataset.Kind) []*dataset.Test {
+	ix := a.index()
+	if len(kinds) == 1 {
+		return ix.tests[bucketKey{n, kinds[0]}]
+	}
+	return mergeByID(bucketsOf(ix, n, kinds))
+}
+
+// TestsInArea is Tests restricted to one majority area type.
+func (a *Analyzer) TestsInArea(n channel.Network, area geo.AreaType, kinds ...dataset.Kind) []*dataset.Test {
+	ix := a.index()
+	if len(kinds) == 1 {
+		return ix.byArea[areaKey{n, kinds[0], area}]
+	}
+	buckets := make([][]*dataset.Test, 0, len(kinds))
+	for _, k := range kinds {
+		if b := ix.byArea[areaKey{n, k, area}]; len(b) > 0 {
+			buckets = append(buckets, b)
+		}
+	}
+	return mergeByID(buckets)
+}
+
+// PerSecond returns the pooled per-second goodput samples of one
+// network's tests of the given kinds, memoized for the single-kind
+// queries every CDF figure makes. The slice is shared index state for
+// single-kind queries: callers must not modify it.
+func (a *Analyzer) PerSecond(n channel.Network, kinds ...dataset.Kind) []float64 {
+	ix := a.index()
+	if len(kinds) == 1 {
+		return ix.pooled[bucketKey{n, kinds[0]}]
+	}
+	return perSecond(mergeByID(bucketsOf(ix, n, kinds)))
+}
+
+func bucketsOf(ix *queryIndex, n channel.Network, kinds []dataset.Kind) [][]*dataset.Test {
+	buckets := make([][]*dataset.Test, 0, len(kinds))
+	for _, k := range kinds {
+		if b := ix.tests[bucketKey{n, k}]; len(b) > 0 {
+			buckets = append(buckets, b)
+		}
+	}
+	return buckets
+}
+
+// mergeByID merges ID-ascending test buckets into one ID-ascending
+// slice, reproducing dataset order exactly (test IDs ascend with the
+// dataset's append order).
+func mergeByID(buckets [][]*dataset.Test) []*dataset.Test {
+	switch len(buckets) {
+	case 0:
+		return nil
+	case 1:
+		return buckets[0]
+	}
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+	}
+	out := make([]*dataset.Test, 0, total)
+	heads := make([]int, len(buckets))
+	for len(out) < total {
+		best := -1
+		for bi, b := range buckets {
+			if heads[bi] >= len(b) {
+				continue
+			}
+			if best < 0 || b[heads[bi]].ID < buckets[best][heads[best]].ID {
+				best = bi
+			}
+		}
+		out = append(out, buckets[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}

@@ -10,6 +10,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"satcell/internal/cell"
@@ -139,6 +140,10 @@ type Config struct {
 	Scale float64
 	// Routes overrides the drive corpus (default mobility.DefaultRoutes).
 	Routes []*mobility.Route
+	// Workers bounds the goroutines simulating drives and evaluating
+	// tests; 0 (the default) uses runtime.GOMAXPROCS(0). The campaign
+	// is bit-identical for every worker count.
+	Workers int
 }
 
 // Paper-scale targets (§3.3).
@@ -155,7 +160,14 @@ const (
 	meanGapSeconds  = 330 // idle time between windows
 )
 
-// Generate runs the campaign and produces the dataset.
+// Generate runs the campaign and produces the dataset in two passes: a
+// cheap serial *planning* pass that fixes the random plan (route order,
+// mobility fixes, window offsets/durations/kinds — everything drawn
+// from the shared campaign RNG), and an expensive *execution* pass that
+// fans channel sampling and per-test transport evaluation out across a
+// worker pool. Every unit of execution work owns a derived RNG, so the
+// output is bit-identical for every Config.Workers value — including
+// the original single-threaded generator.
 func Generate(cfg Config) *Dataset {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 0.05
@@ -164,52 +176,143 @@ func Generate(cfg Config) *Dataset {
 	if len(routes) == 0 {
 		routes = mobility.DefaultRoutes()
 	}
-	gaz := geo.DefaultGazetteer()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	// Shared constellation; per-device channel models.
-	cons := leo.NewConstellation(leo.StarlinkShell())
-	models := map[channel.Network]channel.Model{
-		channel.StarlinkRoam:     leo.NewModel(leo.RoamPlan(), cons, cfg.Seed+101),
-		channel.StarlinkMobility: leo.NewModel(leo.MobilityPlan(), cons, cfg.Seed+102),
-	}
-	for _, carrier := range cell.Carriers() {
-		models[carrier.Network] = cell.NewModel(carrier, cfg.Seed+103+int64(carrier.Network))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	ds := &Dataset{Seed: cfg.Seed}
+	drives, tests := planCampaign(cfg, routes, ds)
+
+	cons := leo.NewConstellation(leo.StarlinkShell())
+	ds.Drives = executeDrives(drives, modelBuilders(cfg.Seed, cons), workers)
+	ds.Tests = executeTests(tests, ds.Drives, cfg.Seed, workers)
+	return ds
+}
+
+// drivePlan is the planning-pass record of one route traversal: the
+// mobility fixes consume the shared campaign RNG and determine the
+// drive duration the windows are carved from.
+type drivePlan struct {
+	route *mobility.Route
+	fixes []mobility.Fix
+}
+
+// testPlan schedules one test window of one network for execution.
+type testPlan struct {
+	id    int
+	drive int
+	net   channel.Network
+	kind  Kind
+	start time.Duration
+	dur   time.Duration
+}
+
+// planCampaign runs the serial planning pass. It consumes the shared
+// campaign RNG in exactly the order the original serial generator did
+// (per drive: mobility draws, then window offset/duration/gap draws),
+// so the plan — and with it the whole dataset — is unchanged.
+func planCampaign(cfg Config, routes []*mobility.Route, ds *Dataset) ([]drivePlan, []testPlan) {
+	gaz := geo.DefaultGazetteer()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var drives []drivePlan
+	var tests []testPlan
 	targetKm := PaperTotalKm * cfg.Scale
 	testID := 0
 	for ri := 0; ds.TotalKm < targetKm; ri++ {
 		route := routes[ri%len(routes)]
-		drive := generateDrive(route, gaz, models, rng)
-		ds.TotalKm += lastDist(drive.Fixes)
+		fixes := mobility.Drive(route, gaz, mobility.DriveConfig{}, rng)
+		ds.TotalKm += lastDist(fixes)
+		duration := time.Duration(0)
+		if len(fixes) > 0 {
+			duration = fixes[len(fixes)-1].At
+		}
 
 		// Carve the drive into test windows.
 		offset := time.Duration(rng.Intn(60)) * time.Second
 		rot := 0
-		for offset < drive.duration() {
+		for offset < duration {
 			dur := time.Duration(float64(meanTestSeconds)*(0.6+0.8*rng.Float64())) * time.Second
-			if offset+dur > drive.duration() {
+			if offset+dur > duration {
 				break
 			}
 			kind := testRotation[rot%len(testRotation)]
 			rot++
 			for _, n := range channel.Networks {
-				// Each test gets its own derived RNG so that results
-				// are stable regardless of how much randomness other
-				// tests consume.
-				trng := rand.New(rand.NewSource(cfg.Seed ^ int64(testID+1)*0x9E3779B9))
-				t := buildTest(testID, n, kind, drive, offset, dur, trng)
+				tests = append(tests, testPlan{
+					id: testID, drive: len(drives), net: n,
+					kind: kind, start: offset, dur: dur,
+				})
 				testID++
-				ds.Tests = append(ds.Tests, t)
 				ds.TotalTestMin += dur.Minutes()
 			}
 			offset += dur + time.Duration(float64(meanGapSeconds)*(0.6+0.8*rng.Float64()))*time.Second
 		}
-		ds.Drives = append(ds.Drives, drive)
+		drives = append(drives, drivePlan{route: route, fixes: fixes})
 	}
-	return ds
+	return drives, tests
+}
+
+// modelBuilders wires the per-network channel-model constructors with
+// the same per-network seeds the serial generator used. Execution
+// builds a fresh model per (drive, network) unit of work; because
+// NewModel starts from the seed exactly like Reset() did between
+// drives, the per-drive sample streams are unchanged.
+func modelBuilders(seed int64, cons *leo.Constellation) map[channel.Network]channel.Builder {
+	builders := map[channel.Network]channel.Builder{
+		channel.StarlinkRoam:     leo.ModelBuilder(leo.RoamPlan(), cons, seed+101),
+		channel.StarlinkMobility: leo.ModelBuilder(leo.MobilityPlan(), cons, seed+102),
+	}
+	for _, carrier := range cell.Carriers() {
+		builders[carrier.Network] = cell.ModelBuilder(carrier, seed+103+int64(carrier.Network))
+	}
+	return builders
+}
+
+// executeDrives samples every (drive, network) channel observation
+// sequence across the worker pool.
+func executeDrives(plans []drivePlan, builders map[channel.Network]channel.Builder, workers int) []Drive {
+	nets := channel.Networks
+	obs := make([][][]channel.Record, len(plans))
+	for i := range obs {
+		obs[i] = make([][]channel.Record, len(nets))
+	}
+	forEachIndex(workers, len(plans)*len(nets), func(k int) {
+		di, ni := k/len(nets), k%len(nets)
+		m := builders[nets[ni]]()
+		fixes := plans[di].fixes
+		recs := make([]channel.Record, len(fixes))
+		for j, f := range fixes {
+			env := channel.Env{At: f.At, Pos: f.Pos, SpeedKmh: f.SpeedKmh, Area: f.Area}
+			recs[j] = channel.Record{Env: env, Sample: m.Sample(env)}
+		}
+		obs[di][ni] = recs
+	})
+	out := make([]Drive, len(plans))
+	for i, p := range plans {
+		d := Drive{
+			Route: p.route.Name, State: p.route.State, Fixes: p.fixes,
+			Observed: make(map[channel.Network][]channel.Record, len(nets)),
+		}
+		for ni, n := range nets {
+			d.Observed[n] = obs[i][ni]
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// executeTests evaluates every planned test window across the worker
+// pool. Each test draws from its own derived RNG (seed ^ id), so the
+// evaluation order cannot change results.
+func executeTests(plans []testPlan, drives []Drive, seed int64, workers int) []Test {
+	out := make([]Test, len(plans))
+	forEachIndex(workers, len(plans), func(i int) {
+		p := plans[i]
+		trng := rand.New(rand.NewSource(seed ^ int64(p.id+1)*0x9E3779B9))
+		out[i] = buildTest(p.id, p.net, p.kind, drives[p.drive], p.start, p.dur, trng)
+	})
+	return out
 }
 
 func (d *Drive) duration() time.Duration {
@@ -224,29 +327,6 @@ func lastDist(fixes []mobility.Fix) float64 {
 		return 0
 	}
 	return fixes[len(fixes)-1].DistKm
-}
-
-// generateDrive simulates one route traversal observing all devices.
-func generateDrive(route *mobility.Route, gaz *geo.Gazetteer,
-	models map[channel.Network]channel.Model, rng *rand.Rand) Drive {
-
-	fixes := mobility.Drive(route, gaz, mobility.DriveConfig{}, rng)
-	d := Drive{
-		Route:    route.Name,
-		State:    route.State,
-		Fixes:    fixes,
-		Observed: make(map[channel.Network][]channel.Record, len(models)),
-	}
-	for n, m := range models {
-		m.Reset()
-		recs := make([]channel.Record, 0, len(fixes))
-		for _, f := range fixes {
-			env := channel.Env{At: f.At, Pos: f.Pos, SpeedKmh: f.SpeedKmh, Area: f.Area}
-			recs = append(recs, channel.Record{Env: env, Sample: m.Sample(env)})
-		}
-		d.Observed[n] = recs
-	}
-	return d
 }
 
 // buildTest evaluates one test window for one device.

@@ -1,0 +1,43 @@
+package dataset
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachIndex runs fn(0), ..., fn(n-1) across at most workers
+// goroutines, pulling indices from an atomic counter so uneven work
+// items (short urban drives vs long highway drives) balance out. Every
+// fn(i) must be independent of the others: it may only read shared
+// inputs and write state owned by index i. With workers <= 1 the call
+// degenerates to a plain serial loop on the calling goroutine.
+func forEachIndex(workers, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -45,6 +45,16 @@ func NewModel(plan Plan, cons *Constellation, seed int64) *Model {
 	return m
 }
 
+// ModelBuilder returns a channel.Builder producing independent Model
+// instances for the plan. Every instance starts its random stream from
+// the same seed, so building a fresh model per drive is equivalent to
+// calling Reset() between drives on a shared one — which is what makes
+// concurrent drive simulation bit-identical to the serial campaign.
+// The constellation is read-only and safely shared across instances.
+func ModelBuilder(plan Plan, cons *Constellation, seed int64) channel.Builder {
+	return func() channel.Model { return NewModel(plan, cons, seed) }
+}
+
 // Network implements channel.Model.
 func (m *Model) Network() channel.Network { return m.plan.Network }
 

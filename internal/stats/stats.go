@@ -85,6 +85,18 @@ func Sum(xs []float64) float64 {
 	return s
 }
 
+// sortedCopy returns xs sorted ascending without mutating the input.
+// It is the single copy-and-sort site shared by Quantile, Summarize,
+// Box and NewCDF; callers needing several quantile-family statistics
+// of one sample should build a CDF once and query it, rather than
+// paying a fresh copy+sort per call.
+func sortedCopy(xs []float64) []float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return sorted
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between closest ranks (the same rule as numpy's default).
 // It returns 0 for an empty sample. The input need not be sorted.
@@ -92,10 +104,7 @@ func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	return quantileSorted(sorted, q)
+	return quantileSorted(sortedCopy(xs), q)
 }
 
 func quantileSorted(sorted []float64, q float64) float64 {
@@ -138,13 +147,14 @@ func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	return summarySorted(sortedCopy(xs), Mean(xs), StdDev(xs))
+}
+
+func summarySorted(sorted []float64, mean, std float64) Summary {
 	return Summary{
-		N:      len(xs),
-		Mean:   Mean(xs),
-		Std:    StdDev(xs),
+		N:      len(sorted),
+		Mean:   mean,
+		Std:    std,
 		Min:    sorted[0],
 		P25:    quantileSorted(sorted, 0.25),
 		Median: quantileSorted(sorted, 0.5),
@@ -172,11 +182,12 @@ func Box(xs []float64) BoxStats {
 	if len(xs) == 0 {
 		return BoxStats{}
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	return boxSorted(sortedCopy(xs), Mean(xs))
+}
+
+func boxSorted(sorted []float64, mean float64) BoxStats {
 	b := BoxStats{
-		Mean:   Mean(xs),
+		Mean:   mean,
 		Q1:     quantileSorted(sorted, 0.25),
 		Median: quantileSorted(sorted, 0.5),
 		Q3:     quantileSorted(sorted, 0.75),
@@ -206,12 +217,12 @@ type CDF struct {
 	sorted []float64
 }
 
-// NewCDF builds an empirical CDF from xs. The input is copied.
+// NewCDF builds an empirical CDF from xs. The input is copied. Beyond
+// plotting, a CDF doubles as a sorted-once view of the sample: Median,
+// Quantile, Box and Summary all reuse the same sorted backing instead
+// of re-copying and re-sorting per call.
 func NewCDF(xs []float64) *CDF {
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	return &CDF{sorted: sorted}
+	return &CDF{sorted: sortedCopy(xs)}
 }
 
 // N returns the number of underlying samples.
@@ -233,6 +244,27 @@ func (c *CDF) Quantile(q float64) float64 {
 		return 0
 	}
 	return quantileSorted(c.sorted, q)
+}
+
+// Median returns the 50th percentile of the underlying sample.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Box computes Tukey box-plot statistics over the underlying sample,
+// reusing the already-sorted backing.
+func (c *CDF) Box() BoxStats {
+	if len(c.sorted) == 0 {
+		return BoxStats{}
+	}
+	return boxSorted(c.sorted, Mean(c.sorted))
+}
+
+// Summary computes descriptive statistics over the underlying sample,
+// reusing the already-sorted backing.
+func (c *CDF) Summary() Summary {
+	if len(c.sorted) == 0 {
+		return Summary{}
+	}
+	return summarySorted(c.sorted, Mean(c.sorted), StdDev(c.sorted))
 }
 
 // Points returns n (x, F(x)) pairs evenly spaced in probability, suitable

@@ -68,6 +68,10 @@ type DatasetOptions struct {
 	// Scale scales the campaign: 1.0 reproduces the paper's ~3,800 km
 	// and ~1,239 tests; the default 0.1 generates a tenth of that.
 	Scale float64
+	// Workers bounds the goroutines simulating drives and evaluating
+	// tests; 0 (the default) uses all available cores. The generated
+	// dataset is bit-identical for every worker count.
+	Workers int
 }
 
 // GenerateDataset runs the measurement campaign.
@@ -75,7 +79,7 @@ func (w *World) GenerateDataset(opts DatasetOptions) *Dataset {
 	if opts.Scale <= 0 {
 		opts.Scale = 0.1
 	}
-	return dataset.Generate(dataset.Config{Seed: w.seed, Scale: opts.Scale})
+	return dataset.Generate(dataset.Config{Seed: w.seed, Scale: opts.Scale, Workers: opts.Workers})
 }
 
 // FigureOptions tunes the analysis harness.
