@@ -1,11 +1,12 @@
 # Tier-1 verification for satcell. `make check` is the gate every PR
 # must keep green: full build + vet + tests, plus a race-detector pass
 # over the packages with concurrent code (the parallel campaign
-# generation pipeline and the analyzer query index).
+# generation pipeline, the analyzer query index, the wall-clock relays,
+# the live measurement tools and the fault-injection subsystem).
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race chaos bench
 
 check: build vet test race
 
@@ -20,11 +21,21 @@ test:
 
 # The worker pool lives in internal/dataset; internal/core reads the
 # generated dataset and builds the memoized query index. Both must stay
-# race-clean for every Workers value. Race instrumentation makes the
-# core calibration gate several times slower than its ~1.5 min normal
-# run, so give it headroom beyond go test's default 10 min timeout.
+# race-clean for every Workers value, as must the socket-juggling
+# relays, the measurement clients and the fault injector/supervisor.
+# Race instrumentation makes the core calibration gate several times
+# slower than its ~1.5 min normal run, so give it headroom beyond go
+# test's default 10 min timeout.
 race:
-	$(GO) test -race -timeout 45m ./internal/dataset/ ./internal/core/
+	$(GO) test -race -timeout 45m ./internal/dataset/ ./internal/core/ \
+		./internal/netem/ ./internal/meas/... ./internal/faults/
+
+# The chaos suite runs the real measurement tools through relays while
+# the fault subsystem blacks out links, kills-and-restarts relays and
+# mangles datagrams; every test checks graceful degradation and
+# goroutine hygiene under the race detector.
+chaos:
+	$(GO) test -race -run Chaos -v -count=1 ./internal/faults/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -68,6 +68,7 @@ func writeTests(path string, ds *satcell.Dataset) error {
 	header := []string{
 		"id", "network", "kind", "route", "state", "start_s", "duration_s",
 		"area", "mean_speed_kmh", "throughput_mbps", "loss_rate", "retrans_rate",
+		"outcome",
 	}
 	if err := w.Write(header); err != nil {
 		return err
@@ -87,6 +88,7 @@ func writeTests(path string, ds *satcell.Dataset) error {
 			strconv.FormatFloat(t.ThroughputMbps, 'f', 2, 64),
 			strconv.FormatFloat(t.LossRate, 'f', 5, 64),
 			strconv.FormatFloat(t.RetransRate, 'f', 5, 64),
+			t.Outcome.String(),
 		}
 		if err := w.Write(rec); err != nil {
 			return err

@@ -7,17 +7,25 @@
 //
 //	mpshell -listen 127.0.0.1:6000 -target 127.0.0.1:5201 -trace mob.csv
 //	mpshell -proto tcp -listen :6000 -target :5201 -rate 50 -delay 30ms -loss 0.005
+//
+// A deterministic fault scenario can be layered on top of the shaping
+// with -faults (see internal/faults.ParseSpec for the grammar):
+//
+//	mpshell -target :5201 -faults 'blackout@5s+800ms;auto=4/60s;corrupt=0.001' -faultseed 7
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
+	"satcell/internal/faults"
 	"satcell/internal/netem"
 	"satcell/internal/trace"
 )
@@ -32,10 +40,22 @@ func main() {
 		delay   = flag.Duration("delay", 20*time.Millisecond, "constant one-way delay (when no trace)")
 		loss    = flag.Float64("loss", 0, "constant datagram loss probability (when no trace)")
 		seed    = flag.Int64("seed", 1, "loss RNG seed")
+		faultsF = flag.String("faults", "", "fault scenario spec (e.g. 'blackout@5s+800ms;auto=4/60s;corrupt=0.001')")
+		fseed   = flag.Int64("faultseed", 1, "fault schedule seed (replays bit-identically)")
 	)
 	flag.Parse()
 	if *target == "" {
 		log.Fatal("mpshell: -target is required")
+	}
+
+	var gate *faults.Injector
+	if *faultsF != "" {
+		sched, err := faults.ParseSpec(*faultsF, *fseed)
+		if err != nil {
+			log.Fatalf("mpshell: %v", err)
+		}
+		gate = faults.NewInjector(sched)
+		fmt.Printf("mpshell: %s digest=%s\n", sched.String(), sched.Digest()[:12])
 	}
 
 	var up, down netem.Shape
@@ -61,23 +81,72 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// The relay is created through a closure so the fault schedule's
+	// restart windows can kill it and bring it back on the same port.
+	var (
+		start func(addr string) (io.Closer, string, error)
+		fgate netem.FaultGate
+	)
+	if gate != nil {
+		fgate = gate
+	}
 	switch *proto {
 	case "udp":
-		relay, err := netem.NewUDPRelay(*listen, *target, up, down, *seed)
-		if err != nil {
-			log.Fatalf("mpshell: %v", err)
+		start = func(addr string) (io.Closer, string, error) {
+			r, err := netem.NewUDPRelayFaulty(addr, *target, up, down, *seed, fgate)
+			if err != nil {
+				return nil, "", err
+			}
+			return r, r.Addr().String(), nil
 		}
-		defer relay.Close()
-		fmt.Printf("mpshell: udp %s -> %s\n", relay.Addr(), *target)
 	case "tcp":
-		relay, err := netem.NewTCPRelay(*listen, *target, up, down)
-		if err != nil {
-			log.Fatalf("mpshell: %v", err)
+		start = func(addr string) (io.Closer, string, error) {
+			r, err := netem.NewTCPRelayFaulty(addr, *target, up, down, fgate)
+			if err != nil {
+				return nil, "", err
+			}
+			return r, r.Addr().String(), nil
 		}
-		defer relay.Close()
-		fmt.Printf("mpshell: tcp %s -> %s (loss not emulated for streams)\n", relay.Addr(), *target)
 	default:
 		log.Fatalf("mpshell: unknown proto %q", *proto)
 	}
+
+	relay, addr, err := start(*listen)
+	if err != nil {
+		log.Fatalf("mpshell: %v", err)
+	}
+	fmt.Printf("mpshell: %s %s -> %s\n", *proto, addr, *target)
+
+	var mu sync.Mutex
+	if gate != nil && len(gate.Schedule().Restarts) > 0 {
+		sup := faults.Supervise(gate.Schedule().Restarts,
+			func() {
+				mu.Lock()
+				relay.Close()
+				mu.Unlock()
+				fmt.Println("mpshell: relay killed (restart window)")
+			},
+			func() {
+				r2, _, err := start(addr)
+				if err != nil {
+					fmt.Printf("mpshell: relay restart failed: %v\n", err)
+					return
+				}
+				mu.Lock()
+				relay = r2
+				mu.Unlock()
+				fmt.Println("mpshell: relay restored")
+			})
+		defer sup.Stop()
+	}
+
 	<-ctx.Done()
+	mu.Lock()
+	relay.Close()
+	mu.Unlock()
+	if gate != nil {
+		st := gate.Stats()
+		fmt.Printf("mpshell: faults applied: %d blackout drops, %d corrupted, %d truncated, %d dials refused\n",
+			st.BlackoutDrops, st.Corrupted, st.Truncated, st.DialsRefused)
+	}
 }

@@ -463,6 +463,11 @@ func absFloat(x float64) float64 {
 func (a *Analyzer) DatasetSummary() *Figure {
 	f := &Figure{ID: "dataset", Title: "Driving dataset summary (§3.3)", Kind: Bars}
 	f.addKPI("tests", float64(len(a.DS.Tests)))
+	outcomes := a.DS.OutcomeCounts()
+	f.addKPI("tests_complete", float64(outcomes[dataset.OutcomeComplete]))
+	f.addKPI("tests_truncated", float64(outcomes[dataset.OutcomeTruncated]))
+	f.addKPI("tests_failed", float64(outcomes[dataset.OutcomeFailed]))
+	f.addKPI("tests_skipped_by_figures", float64(a.SkippedTests()))
 	f.addKPI("trace_minutes", a.DS.TotalTestMin)
 	f.addKPI("distance_km", a.DS.TotalKm)
 	f.addKPI("drives", float64(len(a.DS.Drives)))

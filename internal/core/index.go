@@ -32,6 +32,12 @@ type queryIndex struct {
 	tests  map[bucketKey][]*dataset.Test
 	byArea map[areaKey][]*dataset.Test
 	pooled map[bucketKey][]float64
+	// skipped counts failed tests excluded from the buckets: a test
+	// whose whole window was dead measured nothing, and folding its
+	// zero series into the CDFs would pollute every distribution with
+	// artifacts of the outage, not of the network. Truncated tests
+	// stay in — their surviving seconds are real measurements.
+	skipped int
 }
 
 func (ix *queryIndex) build(ds *dataset.Dataset) {
@@ -39,6 +45,10 @@ func (ix *queryIndex) build(ds *dataset.Dataset) {
 	ix.byArea = make(map[areaKey][]*dataset.Test)
 	for i := range ds.Tests {
 		t := &ds.Tests[i]
+		if t.Outcome == dataset.OutcomeFailed {
+			ix.skipped++
+			continue
+		}
 		k := bucketKey{t.Network, t.Kind}
 		ix.tests[k] = append(ix.tests[k], t)
 		ak := areaKey{t.Network, t.Kind, t.Area}
@@ -55,6 +65,10 @@ func (a *Analyzer) index() *queryIndex {
 	a.idx.once.Do(func() { a.idx.build(a.DS) })
 	return &a.idx
 }
+
+// SkippedTests reports how many failed tests the figure analyses
+// skipped (and counted) rather than folding into the distributions.
+func (a *Analyzer) SkippedTests() int { return a.index().skipped }
 
 // Tests returns the tests of one network matching any of the kinds, in
 // dataset order — the same tests, in the same order, Filter(ByNetwork,

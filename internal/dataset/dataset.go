@@ -69,6 +69,68 @@ func (k Kind) Parallel() int {
 	}
 }
 
+// Outcome classifies how one campaign test ended. The paper's field
+// campaign (§3.3) loses tests to tunnels, obstructions and 15 s
+// reallocation epochs; recording the outcome keeps those windows in
+// the dataset as explicit partial/failed tests instead of silent rows
+// of zeros that pollute the distributions.
+type Outcome int
+
+// Test outcomes.
+const (
+	// OutcomeComplete: the window had usable connectivity throughout
+	// (outage share below the truncation threshold).
+	OutcomeComplete Outcome = iota
+	// OutcomeTruncated: a significant share of the window was in
+	// outage; the recorded figures cover the surviving seconds.
+	OutcomeTruncated
+	// OutcomeFailed: the window produced no usable measurement at all
+	// (no records, or every second in outage).
+	OutcomeFailed
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeComplete:
+		return "complete"
+	case OutcomeTruncated:
+		return "truncated"
+	case OutcomeFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// truncatedOutageShare is the outage fraction above which a test is
+// classified truncated: a quarter of the window spent dark means the
+// transport spent much of the test reconnecting, not measuring.
+const truncatedOutageShare = 0.25
+
+// classifyOutcome derives a test's outcome from its channel records.
+// It is a pure function of the (deterministic) records, so the same
+// campaign seed always yields the same classification.
+func classifyOutcome(recs []channel.Record) Outcome {
+	if len(recs) == 0 {
+		return OutcomeFailed
+	}
+	outage := 0
+	for _, r := range recs {
+		if r.Sample.Outage {
+			outage++
+		}
+	}
+	switch {
+	case outage == len(recs):
+		return OutcomeFailed
+	case float64(outage) >= truncatedOutageShare*float64(len(recs)):
+		return OutcomeTruncated
+	default:
+		return OutcomeComplete
+	}
+}
+
 // testRotation is the repeating order of test windows during a drive.
 var testRotation = []Kind{
 	UDPDown, TCPDown, Ping, UDPUp, UDPDown, TCPDown4P,
@@ -88,6 +150,10 @@ type Test struct {
 	// Environment summary over the test window.
 	Area         geo.AreaType // majority area type
 	MeanSpeedKmh float64
+
+	// Outcome classifies the test: complete, truncated (significant
+	// outage share) or failed (no usable measurement).
+	Outcome Outcome
 
 	// Channel observations (per second).
 	Records []channel.Record
@@ -342,6 +408,7 @@ func buildTest(id int, n channel.Network, kind Kind, drive Drive,
 	}
 	t.Area = majorityArea(recs)
 	t.MeanSpeedKmh = meanSpeed(recs)
+	t.Outcome = classifyOutcome(recs)
 
 	tr := &channel.Trace{Network: n}
 	for _, r := range recs {
@@ -387,6 +454,10 @@ func buildTest(id int, n channel.Network, kind Kind, drive Drive,
 		}
 		if len(recs) > 0 {
 			t.LossRate /= float64(len(recs))
+		}
+		// A ping window with every probe lost measured nothing.
+		if len(t.RTTsMs) == 0 {
+			t.Outcome = OutcomeFailed
 		}
 	}
 	return t
@@ -493,6 +564,20 @@ func ByKind(kinds ...Kind) func(*Test) bool {
 // ByArea filters on the majority area type.
 func ByArea(a geo.AreaType) func(*Test) bool {
 	return func(t *Test) bool { return t.Area == a }
+}
+
+// ByOutcome filters on the test outcome.
+func ByOutcome(o Outcome) func(*Test) bool {
+	return func(t *Test) bool { return t.Outcome == o }
+}
+
+// OutcomeCounts tallies the campaign's tests per outcome.
+func (ds *Dataset) OutcomeCounts() map[Outcome]int {
+	counts := make(map[Outcome]int, 3)
+	for i := range ds.Tests {
+		counts[ds.Tests[i].Outcome]++
+	}
+	return counts
 }
 
 // Throughputs extracts the throughput of each test.

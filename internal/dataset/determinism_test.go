@@ -63,8 +63,10 @@ func TestGenerateWorkersBitIdentical(t *testing.T) {
 // of the original single-threaded generator, guarding the guarantee
 // that the planning/execution split changed nothing. Update the golden
 // value only when an intentional model or campaign change lands.
+// (Updated when Test.Outcome was added: the digest hashes every Test
+// field, and outcome classification is part of the campaign output.)
 func TestGenerateGoldenDigest(t *testing.T) {
-	const golden = "918a4c30179bc2b472ef10ba767e25dca1a36f6160d2acc1d2786f793795116a"
+	const golden = "f16b952541904adac7011f9ede225886ab2d4662b13577f6d1da75b17d82977c"
 	ds := Generate(Config{Seed: 7, Scale: 0.02})
 	if got := datasetDigest(ds); got != golden {
 		t.Fatalf("seed=7 scale=0.02 digest = %s, want %s", got, golden)

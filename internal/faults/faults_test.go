@@ -1,0 +1,324 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"satcell/internal/emu"
+)
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Start: time.Second, Dur: 500 * time.Millisecond}
+	if w.End() != 1500*time.Millisecond {
+		t.Fatalf("End = %v", w.End())
+	}
+	for _, c := range []struct {
+		at   time.Duration
+		want bool
+	}{
+		{999 * time.Millisecond, false},
+		{time.Second, true},
+		{1499 * time.Millisecond, true},
+		{1500 * time.Millisecond, false}, // half-open
+	} {
+		if got := w.Contains(c.at); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+// TestGenerateBitIdentical is the replayability gate: the same config
+// must generate the same schedule, digest-for-digest, run after run,
+// while different seeds must diverge.
+func TestGenerateBitIdentical(t *testing.T) {
+	cfg := Config{Seed: 42, Horizon: 30 * time.Second, Blackouts: 6, Restarts: 2, DialFails: 3,
+		CorruptProb: 0.01, TruncateProb: 0.005}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same config, different schedules:\n%s\n%s", a.String(), b.String())
+	}
+	cfg.Seed = 43
+	if c := Generate(cfg); c.Digest() == a.Digest() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateWindowBounds(t *testing.T) {
+	s := Generate(Config{Seed: 7, Horizon: 10 * time.Second, Blackouts: 50,
+		BlackoutMean: 400 * time.Millisecond})
+	if len(s.Blackouts) != 50 {
+		t.Fatalf("got %d windows", len(s.Blackouts))
+	}
+	var prev time.Duration
+	for _, w := range s.Blackouts {
+		if w.Start < 0 || w.Start >= 10*time.Second {
+			t.Fatalf("window start %v outside horizon", w.Start)
+		}
+		if w.Dur < 50*time.Millisecond || w.Dur > 4*400*time.Millisecond {
+			t.Fatalf("window duration %v outside clamp", w.Dur)
+		}
+		if w.Start < prev {
+			t.Fatal("windows not sorted by start")
+		}
+		prev = w.Start
+	}
+	if s.BlackoutFraction() <= 0 {
+		t.Fatal("blackout fraction should be positive")
+	}
+}
+
+func TestScheduleQueries(t *testing.T) {
+	s := Schedule{
+		Horizon:   10 * time.Second,
+		Blackouts: []Window{{Start: time.Second, Dur: time.Second}},
+		Restarts:  []Window{{Start: 4 * time.Second, Dur: time.Second}},
+		DialFails: []Window{{Start: 7 * time.Second, Dur: time.Second}},
+	}
+	if !s.BlackoutAt(1500 * time.Millisecond) {
+		t.Fatal("inside blackout not detected")
+	}
+	if s.BlackoutAt(3 * time.Second) {
+		t.Fatal("false blackout")
+	}
+	// Dial fails both in explicit windows and while restarting.
+	if !s.DialFailAt(7500*time.Millisecond) || !s.DialFailAt(4500*time.Millisecond) {
+		t.Fatal("dial-fail windows not honoured")
+	}
+	if s.DialFailAt(2 * time.Second) {
+		t.Fatal("false dial failure")
+	}
+	if f := s.BlackoutFraction(); f != 0.1 {
+		t.Fatalf("BlackoutFraction = %v, want 0.1", f)
+	}
+}
+
+func TestMaskRateAndLoss(t *testing.T) {
+	s := Schedule{Blackouts: []Window{{Start: time.Second, Dur: time.Second}}}
+	rate := s.MaskRate(func(time.Duration) float64 { return 20 })
+	loss := s.MaskLoss(func(time.Duration) float64 { return 0.02 })
+	if rate(500*time.Millisecond) != 20 || loss(500*time.Millisecond) != 0.02 {
+		t.Fatal("mask altered healthy period")
+	}
+	if rate(1500*time.Millisecond) != 0 || loss(1500*time.Millisecond) != 1 {
+		t.Fatal("mask did not apply blackout")
+	}
+}
+
+func TestParseSpecExplicit(t *testing.T) {
+	s, err := ParseSpec("blackout@1s+500ms; restart@3s+2s; dialfail@6s+1s; corrupt=0.01; truncate=0.02", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Blackouts) != 1 || s.Blackouts[0] != (Window{Start: time.Second, Dur: 500 * time.Millisecond}) {
+		t.Fatalf("blackouts = %+v", s.Blackouts)
+	}
+	if len(s.Restarts) != 1 || len(s.DialFails) != 1 {
+		t.Fatalf("restarts/dialfails = %+v / %+v", s.Restarts, s.DialFails)
+	}
+	if s.CorruptProb != 0.01 || s.TruncateProb != 0.02 {
+		t.Fatalf("probs = %v / %v", s.CorruptProb, s.TruncateProb)
+	}
+	// Horizon defaults to the last window end (dialfail ends at 7s).
+	if s.Horizon != 7*time.Second {
+		t.Fatalf("Horizon = %v, want 7s", s.Horizon)
+	}
+}
+
+func TestParseSpecAutoDeterministic(t *testing.T) {
+	a, err := ParseSpec("auto=5/20s; blackout@1s+200ms", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ParseSpec("auto=5/20s; blackout@1s+200ms", 99)
+	if a.Digest() != b.Digest() {
+		t.Fatal("same (spec, seed) parsed to different schedules")
+	}
+	if len(a.Blackouts) != 6 {
+		t.Fatalf("auto + explicit = %d windows, want 6", len(a.Blackouts))
+	}
+	if a.Horizon != 20*time.Second {
+		t.Fatalf("Horizon = %v, want 20s", a.Horizon)
+	}
+	c, _ := ParseSpec("auto=5/20s; blackout@1s+200ms", 100)
+	if c.Digest() == a.Digest() {
+		t.Fatal("different seeds parsed to identical schedules")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"blackout@1s",      // missing +DUR
+		"blackout@-1s+1s",  // negative start
+		"corrupt=1.5",      // prob outside [0,1]
+		"corrupt=x",        // not a number
+		"auto=5",           // missing horizon
+		"auto=0/10s",       // zero count
+		"meteor@1s+1s",     // unknown kind
+		"restart@1s+junk",  // bad duration
+		"dialfail@junk+1s", // bad start
+	} {
+		if _, err := ParseSpec(spec, 1); err == nil {
+			t.Errorf("spec %q: want error", spec)
+		}
+	}
+	if s, err := ParseSpec("  ;; ", 1); err != nil || s.Digest() != (&Schedule{Seed: 1}).Digest() {
+		t.Fatal("empty spec must parse to the healthy schedule")
+	}
+}
+
+// TestInjectorDatagramDeterministic feeds two injectors built from the
+// same schedule an identical packet sequence: the mangled outputs and
+// the fault counters must match byte for byte.
+func TestInjectorDatagramDeterministic(t *testing.T) {
+	s := Schedule{Seed: 21, CorruptProb: 0.3, TruncateProb: 0.3}
+	a, b := NewInjector(s), NewInjector(s)
+	for i := 0; i < 500; i++ {
+		pkt := make([]byte, 64)
+		for j := range pkt {
+			pkt[j] = byte(i + j)
+		}
+		cp := append([]byte(nil), pkt...)
+		outA, dropA := a.Datagram(0, pkt)
+		outB, dropB := b.Datagram(0, cp)
+		if dropA != dropB || !bytes.Equal(outA, outB) {
+			t.Fatalf("packet %d diverged: drop %v/%v len %d/%d", i, dropA, dropB, len(outA), len(outB))
+		}
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+	}
+	if sa.Corrupted == 0 || sa.Truncated == 0 {
+		t.Fatalf("faults never fired: %+v", sa)
+	}
+}
+
+func TestInjectorNilTolerant(t *testing.T) {
+	var in *Injector
+	if in.LinkDown(0) || in.DialFails(0) {
+		t.Fatal("nil injector reported faults")
+	}
+	pkt := []byte{1, 2, 3}
+	out, drop := in.Datagram(0, pkt)
+	if drop || !bytes.Equal(out, pkt) {
+		t.Fatal("nil injector touched the datagram")
+	}
+	if in.Stats() != (Stats{}) {
+		t.Fatal("nil injector has stats")
+	}
+}
+
+func TestInjectorCountsBlackoutAndDials(t *testing.T) {
+	in := NewInjector(Schedule{
+		Blackouts: []Window{{Start: 0, Dur: time.Second}},
+		DialFails: []Window{{Start: 0, Dur: time.Second}},
+	})
+	if !in.LinkDown(100*time.Millisecond) || !in.DialFails(100*time.Millisecond) {
+		t.Fatal("faults not active inside windows")
+	}
+	if in.LinkDown(2*time.Second) || in.DialFails(2*time.Second) {
+		t.Fatal("faults active outside windows")
+	}
+	st := in.Stats()
+	if st.BlackoutDrops != 1 || st.DialsRefused != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSupervisorRunsWindows(t *testing.T) {
+	var mu []string
+	var lock = make(chan struct{}, 1)
+	lock <- struct{}{}
+	record := func(s string) {
+		<-lock
+		mu = append(mu, s)
+		lock <- struct{}{}
+	}
+	sup := Supervise(
+		[]Window{{Start: 20 * time.Millisecond, Dur: 30 * time.Millisecond},
+			{Start: 100 * time.Millisecond, Dur: 20 * time.Millisecond}},
+		func() { record("kill") }, func() { record("restore") })
+	time.Sleep(200 * time.Millisecond)
+	sup.Stop()
+	kills, restores := sup.Counts()
+	if kills != 2 || restores != 2 {
+		t.Fatalf("kills/restores = %d/%d, want 2/2", kills, restores)
+	}
+	<-lock
+	want := []string{"kill", "restore", "kill", "restore"}
+	if len(mu) != 4 {
+		t.Fatalf("events = %v", mu)
+	}
+	for i := range want {
+		if mu[i] != want[i] {
+			t.Fatalf("events = %v, want %v", mu, want)
+		}
+	}
+}
+
+// TestSupervisorStopMidWindowRestores stops the supervisor while the
+// component is down: restore must still run, so nothing is left dead.
+func TestSupervisorStopMidWindowRestores(t *testing.T) {
+	killed := make(chan struct{})
+	restored := make(chan struct{})
+	sup := Supervise(
+		[]Window{{Start: 10 * time.Millisecond, Dur: 10 * time.Second}},
+		func() { close(killed) }, func() { close(restored) })
+	<-killed
+	sup.Stop()
+	select {
+	case <-restored:
+	default:
+		t.Fatal("Stop left the component dead mid-window")
+	}
+	if kills, restores := sup.Counts(); kills != 1 || restores != 1 {
+		t.Fatalf("kills/restores = %d/%d", kills, restores)
+	}
+	sup.Stop() // idempotent
+}
+
+// TestEmuLinkBlackout drives the in-process emulator with a masked rate
+// function: packets sent during a blackout window are held (the link
+// polls for capacity) and delivered only after the window passes —
+// virtual time, no wall-clock sleeping, fully deterministic.
+func TestEmuLinkBlackout(t *testing.T) {
+	s := Schedule{Blackouts: []Window{{Start: 100 * time.Millisecond, Dur: 200 * time.Millisecond}}}
+	eng := emu.NewEngine()
+	var deliveredAt []time.Duration
+	link := emu.NewLink(eng, emu.LinkConfig{
+		Rate: emu.RateFunc(s.MaskRate(emu.ConstantRate(10))),
+	}, func(p *emu.Packet) {
+		deliveredAt = append(deliveredAt, eng.Now())
+	})
+	// One packet before the window, one during.
+	eng.Schedule(10*time.Millisecond, func() { link.Send(&emu.Packet{Seq: 0, Size: 1500}) })
+	eng.Schedule(150*time.Millisecond, func() { link.Send(&emu.Packet{Seq: 1, Size: 1500}) })
+	eng.Run()
+
+	if len(deliveredAt) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(deliveredAt))
+	}
+	// Packet 0: 1500 B at 10 Mbps is 1.2 ms — well before the blackout.
+	if deliveredAt[0] > 100*time.Millisecond {
+		t.Fatalf("pre-blackout packet delivered at %v", deliveredAt[0])
+	}
+	// Packet 1 entered a dead link and must wait out the window.
+	if deliveredAt[1] < 300*time.Millisecond {
+		t.Fatalf("blackout packet delivered at %v, before the window ended", deliveredAt[1])
+	}
+
+	// Replay: the identical virtual-time run delivers at identical times.
+	eng2 := emu.NewEngine()
+	var replay []time.Duration
+	link2 := emu.NewLink(eng2, emu.LinkConfig{
+		Rate: emu.RateFunc(s.MaskRate(emu.ConstantRate(10))),
+	}, func(p *emu.Packet) { replay = append(replay, eng2.Now()) })
+	eng2.Schedule(10*time.Millisecond, func() { link2.Send(&emu.Packet{Seq: 0, Size: 1500}) })
+	eng2.Schedule(150*time.Millisecond, func() { link2.Send(&emu.Packet{Seq: 1, Size: 1500}) })
+	eng2.Run()
+	if len(replay) != 2 || replay[0] != deliveredAt[0] || replay[1] != deliveredAt[1] {
+		t.Fatalf("replay diverged: %v vs %v", replay, deliveredAt)
+	}
+}

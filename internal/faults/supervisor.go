@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"sync"
+	"time"
+)
+
+// Supervisor executes a schedule's restart windows against one
+// wall-clock component: at each window's start it calls kill, at the
+// window's end it calls restore. It is how chaos scenarios cycle a
+// relay or measurement server the way a field deployment loses its
+// gateway and gets it back.
+type Supervisor struct {
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	kills  int
+	resets int
+}
+
+// Supervise starts executing the windows (sorted by start; overlapping
+// windows are merged into their union of downtime by construction of
+// the kill/restore pairing — each window runs to completion before the
+// next is considered). kill and restore run on the supervisor's
+// goroutine, so they may touch non-thread-safe component state as long
+// as nothing else does.
+func Supervise(windows []Window, kill, restore func()) *Supervisor {
+	s := &Supervisor{stop: make(chan struct{})}
+	ws := append([]Window(nil), windows...)
+	sortWindows(ws)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		begin := time.Now()
+		for _, w := range ws {
+			if !s.sleepUntil(begin.Add(w.Start)) {
+				return
+			}
+			kill()
+			s.mu.Lock()
+			s.kills++
+			s.mu.Unlock()
+			if !s.sleepUntil(begin.Add(w.End())) {
+				restore() // leave the component up on early stop
+				s.mu.Lock()
+				s.resets++
+				s.mu.Unlock()
+				return
+			}
+			restore()
+			s.mu.Lock()
+			s.resets++
+			s.mu.Unlock()
+		}
+	}()
+	return s
+}
+
+// sleepUntil waits for the deadline; it reports false when the
+// supervisor was stopped first.
+func (s *Supervisor) sleepUntil(at time.Time) bool {
+	d := time.Until(at)
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// Counts returns how many kill and restore calls have run.
+func (s *Supervisor) Counts() (kills, restores int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kills, s.resets
+}
+
+// Stop cancels outstanding windows and waits for the supervisor
+// goroutine to exit. If the component was down mid-window, restore is
+// called before Stop returns, so the component is never left dead.
+func (s *Supervisor) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}

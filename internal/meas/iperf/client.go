@@ -20,6 +20,17 @@ type ClientConfig struct {
 	Parallel int           // parallel TCP streams; default 1
 	RateMbps float64       // UDP target rate; default 100
 	Interval time.Duration // progress-report interval; default 1 s
+
+	// DialRetries is how many additional dial attempts each stream
+	// makes after a failed connect, with exponential backoff and
+	// seeded jitter — the reconnect loop a field client needs when the
+	// dish is re-acquiring. Default 0: fail fast.
+	DialRetries int
+	// RetryBackoff is the backoff before the first retry; it doubles
+	// per attempt and is jittered to [0.5, 1.5)x. Default 200 ms.
+	RetryBackoff time.Duration
+	// Seed derives the retry jitter (deterministic per stream).
+	Seed int64
 }
 
 func (c *ClientConfig) defaults() {
@@ -35,6 +46,9 @@ func (c *ClientConfig) defaults() {
 	if c.Interval <= 0 {
 		c.Interval = time.Second
 	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 200 * time.Millisecond
+	}
 	if c.Proto == "" {
 		c.Proto = TCP
 	}
@@ -43,7 +57,10 @@ func (c *ClientConfig) defaults() {
 	}
 }
 
-// Run executes one test against a Server.
+// Run executes one test against a Server. A test that loses streams
+// mid-run returns a partial Result with Outcome Truncated; an error is
+// returned only when the test could not run at all (bad config, or
+// every dial/stream failed outright).
 func Run(ctx context.Context, cfg ClientConfig) (*Result, error) {
 	cfg.defaults()
 	switch cfg.Proto {
@@ -54,6 +71,35 @@ func Run(ctx context.Context, cfg ClientConfig) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("iperf: unknown proto %q", cfg.Proto)
 	}
+}
+
+// dialRetry dials with cfg's retry budget: exponential backoff from
+// RetryBackoff, jittered by a RNG derived from (Seed, id) so reruns of
+// a scripted fault scenario reconnect on the same cadence.
+func dialRetry(ctx context.Context, cfg ClientConfig, network string, id int) (net.Conn, error) {
+	d := net.Dialer{}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(id+1)*0x9E3779B9))
+	backoff := cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= cfg.DialRetries; attempt++ {
+		if attempt > 0 {
+			sleep := time.Duration(float64(backoff) * (0.5 + rng.Float64()))
+			backoff *= 2
+			t := time.NewTimer(sleep)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		conn, err := d.DialContext(ctx, network, cfg.Addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("iperf: dial (%d attempts): %w", cfg.DialRetries+1, lastErr)
 }
 
 // intervalCounter tracks progress reports across streams.
@@ -92,48 +138,70 @@ func (ic *intervalCounter) reports() []IntervalReport {
 	return out
 }
 
+// runTCP fans the parallel streams out and aggregates every stream
+// that produced data. One dead stream no longer discards the test: the
+// survivors are summed and the result is marked Truncated. Only when
+// every stream fails does the test error.
 func runTCP(ctx context.Context, cfg ClientConfig) (*Result, error) {
 	res := &Result{Proto: TCP, Dir: cfg.Dir, Parallel: cfg.Parallel}
 	ic := newIntervalCounter(cfg.Interval)
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		results  []StreamResult
-		firstErr error
-	)
+	type streamOut struct {
+		sr  StreamResult
+		err error
+	}
+	outs := make([]streamOut, cfg.Parallel)
+	var wg sync.WaitGroup
 	for i := 0; i < cfg.Parallel; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			sr, err := runTCPStream(ctx, cfg, id, ic)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
-				return
-			}
-			results = append(results, sr)
+			outs[id] = streamOut{sr: sr, err: err}
 		}(i)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	var firstErr error
+	truncated := false
+	for _, o := range outs {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			res.FailedStreams++
+			truncated = true
+			continue
+		}
+		if o.sr.Bytes == 0 && o.sr.Truncated {
+			// Connected but never moved data: a failed stream.
+			res.FailedStreams++
+			truncated = true
+			continue
+		}
+		if o.sr.Truncated {
+			truncated = true
+		}
+		res.Streams = append(res.Streams, o.sr)
+		res.TotalMbps += o.sr.Mbps
 	}
-	total := 0.0
-	for _, sr := range results {
-		total += sr.Mbps
+	if len(res.Streams) == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("iperf: all %d streams produced no data", cfg.Parallel)
 	}
-	res.Streams = results
-	res.TotalMbps = total
+	res.Outcome = Complete
+	if truncated {
+		res.Outcome = Truncated
+	}
 	res.Intervals = ic.reports()
 	return res, nil
 }
 
 func runTCPStream(ctx context.Context, cfg ClientConfig, id int, ic *intervalCounter) (StreamResult, error) {
-	d := net.Dialer{}
-	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	conn, err := dialRetry(ctx, cfg, "tcp", id)
 	if err != nil {
-		return StreamResult{}, fmt.Errorf("iperf: dial: %w", err)
+		return StreamResult{}, err
 	}
 	defer conn.Close()
 	hello, _ := json.Marshal(control{Dir: cfg.Dir, Duration: cfg.Duration, ID: id})
@@ -143,6 +211,7 @@ func runTCPStream(ctx context.Context, cfg ClientConfig, id int, ic *intervalCou
 
 	start := time.Now()
 	var bytes int64
+	var elapsed time.Duration
 	switch cfg.Dir {
 	case Download:
 		buf := make([]byte, 128<<10)
@@ -159,6 +228,7 @@ func runTCPStream(ctx context.Context, cfg ClientConfig, id int, ic *intervalCou
 				break
 			}
 		}
+		elapsed = time.Since(start)
 	case Upload:
 		buf := make([]byte, 128<<10)
 		deadline := start.Add(cfg.Duration)
@@ -171,6 +241,9 @@ func runTCPStream(ctx context.Context, cfg ClientConfig, id int, ic *intervalCou
 				break
 			}
 		}
+		// The transfer window ends here: the summary exchange below can
+		// block for seconds and must not dilute the rate denominator.
+		elapsed = time.Since(start)
 		// Half-close and read the server's count (authoritative).
 		if tc, ok := conn.(*net.TCPConn); ok {
 			tc.CloseWrite()
@@ -184,15 +257,24 @@ func runTCPStream(ctx context.Context, cfg ClientConfig, id int, ic *intervalCou
 			}
 		}
 	}
-	elapsed := time.Since(start)
 	if elapsed > cfg.Duration {
 		elapsed = cfg.Duration
 	}
+	if elapsed <= 0 {
+		elapsed = time.Millisecond
+	}
+	// A stream that lost its connection well before the configured
+	// duration carries a truncated (but still valid) sample.
+	early := elapsed < cfg.Duration*9/10
 	return StreamResult{
 		ID:       id,
 		Bytes:    bytes,
 		Duration: elapsed,
-		Mbps:     float64(bytes*8) / cfg.Duration.Seconds() / 1e6,
+		// Actual elapsed time, not the configured duration: a stream
+		// that died at t=2s of 10s moved its bytes in 2s, and dividing
+		// by 10 would under-report the link fivefold.
+		Mbps:      float64(bytes*8) / elapsed.Seconds() / 1e6,
+		Truncated: early,
 	}, nil
 }
 
@@ -239,6 +321,7 @@ func runUDPUpload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, test
 	deadline := time.Now().Add(cfg.Duration)
 	next := time.Now()
 	var seq uint64
+	writeErrs := 0
 	for time.Now().Before(deadline) && ctx.Err() == nil {
 		marshalHeader(udpHeader{
 			Magic: udpMagic, Type: udpTypeData, TestID: testID,
@@ -246,9 +329,14 @@ func runUDPUpload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, test
 		}, buf)
 		seq++
 		if _, err := conn.Write(buf); err != nil {
-			return err
+			// A write error means the far end is unreachable right now
+			// (ICMP unreachable after a relay/server kill). Keep
+			// pacing: the link may come back inside the test window.
+			writeErrs++
+			ic.add(0)
+		} else {
+			ic.add(int64(len(buf)))
 		}
-		ic.add(int64(len(buf)))
 		next = next.Add(interval)
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
@@ -256,17 +344,20 @@ func runUDPUpload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, test
 	}
 	res.Sent = int64(seq)
 
-	// Ask the server for its receive stats (retry a few times).
+	// Ask the server for its receive stats (retry with backoff; the
+	// link may still be in a blackout window).
 	end := make([]byte, udpHeaderSize)
 	marshalHeader(udpHeader{Magic: udpMagic, Type: udpTypeEnd, TestID: testID, Seq: seq}, end)
 	reply := make([]byte, 2048)
-	for attempt := 0; attempt < 5; attempt++ {
-		if _, err := conn.Write(end); err != nil {
-			return err
-		}
-		conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	wait := 300 * time.Millisecond
+	for attempt := 0; attempt < 6 && ctx.Err() == nil; attempt++ {
+		conn.Write(end) // best effort: unreachable now may recover
+		conn.SetReadDeadline(time.Now().Add(wait))
 		n, err := conn.Read(reply)
 		if err != nil {
+			if wait < 2*time.Second {
+				wait += 150 * time.Millisecond
+			}
 			continue
 		}
 		if h, ok := unmarshalHeader(reply[:n]); ok && h.Type == udpTypeStats && h.TestID == testID {
@@ -279,10 +370,19 @@ func runUDPUpload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, test
 				}
 			}
 			res.TotalMbps = float64(res.Received) * float64(udpPayload) * 8 / cfg.Duration.Seconds() / 1e6
+			res.Outcome = Complete
+			if writeErrs > 0 {
+				res.Outcome = Truncated
+			}
 			return nil
 		}
 	}
-	return fmt.Errorf("iperf: no stats reply from server")
+	// No stats reply: the server never came back. The send side is
+	// still a usable partial record (Sent, intervals), so degrade to a
+	// Failed outcome rather than discarding the test.
+	res.Outcome = Failed
+	res.LossRate = 1
+	return nil
 }
 
 func runUDPDownload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, testID uint32, ic *intervalCounter, res *Result) error {
@@ -302,11 +402,15 @@ func runUDPDownload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, te
 		lastTx          uint64
 		lastRx          time.Time
 	)
-	hardDeadline := time.Now().Add(cfg.Duration + 3*time.Second)
+	start := time.Now()
+	sawEnd := false
+	hardDeadline := start.Add(cfg.Duration + 3*time.Second)
 	for time.Now().Before(hardDeadline) && ctx.Err() == nil {
 		conn.SetReadDeadline(time.Now().Add(time.Second))
 		n, err := conn.Read(buf)
 		if err != nil {
+			// Timeouts and ICMP-unreachable bursts both land here; in
+			// a blackout the stream resumes when the window passes.
 			continue
 		}
 		h, ok := unmarshalHeader(buf[:n])
@@ -315,6 +419,7 @@ func runUDPDownload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, te
 		}
 		if h.Type == udpTypeEnd {
 			maxSeq = h.Seq
+			sawEnd = true
 			break
 		}
 		if h.Type != udpTypeData {
@@ -347,5 +452,20 @@ func runUDPDownload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, te
 	}
 	res.JitterMs = jitter * 1000
 	res.TotalMbps = float64(bytes*8) / cfg.Duration.Seconds() / 1e6
+	switch {
+	case received == 0:
+		// The request or every reply vanished: nothing measured.
+		res.Outcome = Failed
+		res.LossRate = 1
+	case sawEnd:
+		res.Outcome = Complete
+	case ctx.Err() != nil,
+		lastRx.Sub(start) < cfg.Duration*3/4:
+		// Cancelled mid-test, or the stream died well before the test
+		// window ended (server killed, blackout to the end).
+		res.Outcome = Truncated
+	default:
+		res.Outcome = Complete
+	}
 	return nil
 }

@@ -29,12 +29,33 @@ const (
 	Upload   Direction = "up"   // client -> server
 )
 
+// Outcome classifies how a test ended. The field campaign's reality
+// (§3.3) is that tests die mid-run — reallocation epochs, tunnels,
+// obstructions — so a run that produced partial data is a first-class
+// result, not an error.
+type Outcome string
+
+// Test outcomes.
+const (
+	// Complete: the test ran its full duration on every stream.
+	Complete Outcome = "complete"
+	// Truncated: the test produced partial data, then lost one or more
+	// streams (or ended early); throughput figures cover the surviving
+	// portion only.
+	Truncated Outcome = "truncated"
+	// Failed: the test ran but produced no usable measurement.
+	Failed Outcome = "failed"
+)
+
 // StreamResult summarises one stream of a test.
 type StreamResult struct {
 	ID       int
 	Bytes    int64
 	Duration time.Duration
 	Mbps     float64
+	// Truncated marks a stream that died before its full duration; its
+	// Mbps covers the surviving portion (actual elapsed time).
+	Truncated bool
 }
 
 // IntervalReport is one periodic progress sample.
@@ -52,6 +73,12 @@ type Result struct {
 	Streams   []StreamResult
 	Intervals []IntervalReport
 	TotalMbps float64
+	// Outcome classifies the run: Complete, Truncated (partial data —
+	// some streams died or the test ended early) or Failed (ran but
+	// measured nothing usable).
+	Outcome Outcome
+	// FailedStreams counts TCP streams that produced no data at all.
+	FailedStreams int
 	// UDP only:
 	Sent     int64
 	Received int64

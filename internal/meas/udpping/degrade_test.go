@@ -1,0 +1,105 @@
+package udpping
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestPingDeadServerDegrades pings a port with nothing behind it: every
+// probe raises ICMP unreachable on the connected socket. The run must
+// complete without hanging, report total loss, and count the write
+// errors instead of aborting.
+func TestPingDeadServerDegrades(t *testing.T) {
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := c.LocalAddr().String()
+	c.Close() // dead port
+
+	res, err := Run(context.Background(), Config{
+		Addr: addr, Count: 6, Interval: 10 * time.Millisecond,
+		Timeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dead server must degrade, not error: %v", err)
+	}
+	if res.Sent != 6 || res.Received != 0 {
+		t.Fatalf("sent/received = %d/%d, want 6/0", res.Sent, res.Received)
+	}
+	if res.LossRate() != 1 {
+		t.Fatalf("LossRate = %v, want 1", res.LossRate())
+	}
+	if res.Interrupted {
+		t.Fatal("run sent every probe: must not be marked interrupted")
+	}
+	// Connected-UDP sockets usually surface the unreachable as write
+	// errors from the second probe on; at minimum the field exists and
+	// never exceeds the probe count.
+	if res.WriteErrors < 0 || res.WriteErrors > res.Sent {
+		t.Fatalf("WriteErrors = %d out of %d sent", res.WriteErrors, res.Sent)
+	}
+}
+
+// TestPingServerDiesMidRun kills the echo server halfway: early probes
+// answer, late ones are lost, and the run still returns a full Result.
+func TestPingServerDiesMidRun(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr().String()
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		s.Close()
+	}()
+	res, err := Run(context.Background(), Config{
+		Addr: addr, Count: 10, Interval: 30 * time.Millisecond,
+		Timeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("mid-run server death must degrade, not error: %v", err)
+	}
+	if res.Sent != 10 {
+		t.Fatalf("Sent = %d, want 10", res.Sent)
+	}
+	if res.Received == 0 {
+		t.Fatal("early probes should have been answered")
+	}
+	if res.Received == 10 {
+		t.Fatal("late probes should have been lost")
+	}
+	if lr := res.LossRate(); lr <= 0 || lr >= 1 {
+		t.Fatalf("LossRate = %v, want partial", lr)
+	}
+}
+
+// TestPingCancelMarksInterrupted cancels mid-run: the partial result
+// must carry Interrupted with Sent reflecting the attempted probes.
+func TestPingCancelMarksInterrupted(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Addr: s.Addr().String(), Count: 50, Interval: 30 * time.Millisecond,
+		Timeout: time.Second,
+	})
+	if err != nil {
+		t.Fatalf("cancellation must yield a partial result: %v", err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled run not marked Interrupted")
+	}
+	if res.Sent == 0 || res.Sent >= 50 {
+		t.Fatalf("Sent = %d, want partial progress", res.Sent)
+	}
+	if len(res.Probes) != res.Sent {
+		t.Fatalf("Probes len %d != Sent %d", len(res.Probes), res.Sent)
+	}
+}

@@ -8,6 +8,7 @@ package udpping
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"net"
 	"sync"
 	"time"
@@ -87,6 +88,13 @@ type Result struct {
 	Sent     int
 	Received int
 	Probes   []Probe
+	// WriteErrors counts probes whose send itself failed (ICMP
+	// unreachable while the far end was down); they are recorded as
+	// lost probes, not run-aborting errors.
+	WriteErrors int
+	// Interrupted marks a run cancelled before every probe was sent;
+	// Sent reflects the probes actually attempted.
+	Interrupted bool
 }
 
 // LossRate returns the fraction of unanswered probes.
@@ -152,25 +160,42 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		for {
 			n, err := conn.Read(buf)
 			if err != nil {
-				return
+				if errors.Is(err, net.ErrClosed) {
+					return
+				}
+				// Transient: ICMP unreachable while the far end is
+				// down. Later echoes must still be collected.
+				continue
 			}
 			if n < headerSize || binary.BigEndian.Uint16(buf) != magic {
 				continue
 			}
 			seq := binary.BigEndian.Uint64(buf[4:])
 			sent := int64(binary.BigEndian.Uint64(buf[12:]))
-			echoes <- echo{seq: seq, rtt: time.Duration(time.Now().UnixNano() - sent)}
+			select {
+			case echoes <- echo{seq: seq, rtt: time.Duration(time.Now().UnixNano() - sent)}:
+			default:
+				// Collector gone or buffer full (duplicate echoes):
+				// dropping is safe, blocking would wedge the reader.
+			}
 		}
 	}()
 
 	payload := make([]byte, PayloadSize)
 	binary.BigEndian.PutUint16(payload, magic)
+	sent := 0
+	writeErrs := 0
 	for seq := 0; seq < cfg.Count && ctx.Err() == nil; seq++ {
 		binary.BigEndian.PutUint64(payload[4:], uint64(seq))
 		binary.BigEndian.PutUint64(payload[12:], uint64(time.Now().UnixNano()))
 		if _, err := conn.Write(payload); err != nil {
-			return nil, err
+			// An unreachable far end (killed relay/server, blackout)
+			// surfaces here as ICMP errors on the connected socket.
+			// The probe is simply lost; keep probing — the link may
+			// come back mid-run, exactly like a drive-test outage.
+			writeErrs++
 		}
+		sent++
 		if seq < cfg.Count-1 {
 			select {
 			case <-time.After(cfg.Interval):
@@ -179,14 +204,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Collect replies until the trailing timeout.
-	rtts := make(map[uint64]time.Duration, cfg.Count)
+	// Collect replies until the trailing timeout (or cancellation).
+	rtts := make(map[uint64]time.Duration, sent)
 	deadline := time.After(cfg.Timeout)
 collect:
-	for len(rtts) < cfg.Count {
+	for len(rtts) < sent {
 		select {
 		case e := <-echoes:
-			if _, dup := rtts[e.seq]; !dup && e.seq < uint64(cfg.Count) {
+			if _, dup := rtts[e.seq]; !dup && e.seq < uint64(sent) {
 				rtts[e.seq] = e.rtt
 			}
 		case <-deadline:
@@ -198,8 +223,8 @@ collect:
 	conn.Close()
 	wg.Wait()
 
-	res := &Result{Sent: cfg.Count}
-	for seq := uint64(0); seq < uint64(cfg.Count); seq++ {
+	res := &Result{Sent: sent, WriteErrors: writeErrs, Interrupted: sent < cfg.Count}
+	for seq := uint64(0); seq < uint64(sent); seq++ {
 		if rtt, ok := rtts[seq]; ok {
 			res.Received++
 			res.Probes = append(res.Probes, Probe{Seq: seq, RTT: rtt})

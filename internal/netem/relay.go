@@ -8,6 +8,69 @@ import (
 	"time"
 )
 
+// FaultGate lets a fault schedule (internal/faults.Injector) intercept
+// the live path of a relay. All methods receive the elapsed time since
+// the relay started; a nil gate means a healthy world.
+type FaultGate interface {
+	// LinkDown reports whether the link is blacked out: datagrams are
+	// swallowed, byte streams stall.
+	LinkDown(elapsed time.Duration) bool
+	// DialFails reports whether new sessions/connections are refused.
+	DialFails(elapsed time.Duration) bool
+	// Datagram may corrupt or truncate one datagram (in place) and
+	// returns the payload to forward plus whether to drop it entirely.
+	Datagram(elapsed time.Duration, pkt []byte) ([]byte, bool)
+}
+
+// blackoutPoll is how often a stalled TCP pump re-checks a blackout.
+const blackoutPoll = 10 * time.Millisecond
+
+// timerRegistry tracks the pending delivery timers of a relay so Close
+// can cancel them all at once. It replaces the old per-packet watchdog
+// goroutine: under load a relay schedules thousands of delayed
+// deliveries per second, and each used to pin a goroutine for the
+// delay plus a second.
+type timerRegistry struct {
+	mu      sync.Mutex
+	timers  map[uint64]*time.Timer
+	nextID  uint64
+	stopped bool
+}
+
+// after schedules fn after d, unless the registry is stopped first.
+func (tr *timerRegistry) after(d time.Duration, fn func()) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.stopped {
+		return
+	}
+	if tr.timers == nil {
+		tr.timers = make(map[uint64]*time.Timer)
+	}
+	id := tr.nextID
+	tr.nextID++
+	tr.timers[id] = time.AfterFunc(d, func() {
+		tr.mu.Lock()
+		_, live := tr.timers[id]
+		delete(tr.timers, id)
+		tr.mu.Unlock()
+		if live {
+			fn()
+		}
+	})
+}
+
+// stopAll cancels every pending timer and refuses new ones.
+func (tr *timerRegistry) stopAll() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.stopped = true
+	for id, t := range tr.timers {
+		t.Stop()
+		delete(tr.timers, id)
+	}
+}
+
 // UDPRelay forwards datagrams between clients and a target server,
 // shaping each direction independently — the MpShell role for the UDP
 // measurement tools. Clients send to the relay's address; the relay
@@ -17,6 +80,9 @@ type UDPRelay struct {
 	target   *net.UDPAddr
 	toServer *pacer // client -> server (uplink)
 	toClient *pacer // server -> client (downlink)
+	gate     FaultGate
+	start    time.Time
+	timers   timerRegistry
 
 	mu      sync.Mutex
 	clients map[string]*clientSession
@@ -33,6 +99,14 @@ type clientSession struct {
 // an ephemeral port) forwarding to targetAddr. up shapes client->server
 // traffic, down shapes server->client traffic.
 func NewUDPRelay(listenAddr, targetAddr string, up, down Shape, seed int64) (*UDPRelay, error) {
+	return NewUDPRelayFaulty(listenAddr, targetAddr, up, down, seed, nil)
+}
+
+// NewUDPRelayFaulty is NewUDPRelay with a fault gate on the datagram
+// path: blackout windows swallow datagrams in both directions, dial
+// failures refuse new client sessions, and corruption/truncation
+// mangle payloads in flight.
+func NewUDPRelayFaulty(listenAddr, targetAddr string, up, down Shape, seed int64, gate FaultGate) (*UDPRelay, error) {
 	la, err := net.ResolveUDPAddr("udp", listenAddr)
 	if err != nil {
 		return nil, err
@@ -50,6 +124,8 @@ func NewUDPRelay(listenAddr, targetAddr string, up, down Shape, seed int64) (*UD
 		target:   ta,
 		toServer: newPacer(up, seed*2+1),
 		toClient: newPacer(down, seed*2+2),
+		gate:     gate,
+		start:    time.Now(),
 		clients:  make(map[string]*clientSession),
 		closed:   make(chan struct{}),
 	}
@@ -70,6 +146,7 @@ func (r *UDPRelay) Close() error {
 	}
 	close(r.closed)
 	err := r.conn.Close()
+	r.timers.stopAll()
 	r.mu.Lock()
 	for _, cs := range r.clients {
 		cs.server.Close()
@@ -87,7 +164,11 @@ func (r *UDPRelay) clientLoop() {
 		if err != nil {
 			return
 		}
-		cs := r.session(from)
+		elapsed := time.Since(r.start)
+		if r.gate != nil && r.gate.LinkDown(elapsed) {
+			continue // blackout: the datagram vanishes
+		}
+		cs := r.session(from, elapsed)
 		if cs == nil {
 			continue
 		}
@@ -97,17 +178,26 @@ func (r *UDPRelay) clientLoop() {
 		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
+		if r.gate != nil {
+			var gone bool
+			if pkt, gone = r.gate.Datagram(elapsed, pkt); gone {
+				continue
+			}
+		}
 		r.deliverLater(deliverAt, func() { cs.server.Write(pkt) })
 	}
 }
 
 // session returns (creating if needed) the per-client forwarding state.
-func (r *UDPRelay) session(from *net.UDPAddr) *clientSession {
+func (r *UDPRelay) session(from *net.UDPAddr, elapsed time.Duration) *clientSession {
 	key := from.String()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if cs, ok := r.clients[key]; ok {
 		return cs
+	}
+	if r.gate != nil && r.gate.DialFails(elapsed) {
+		return nil // new sessions refused; the client's datagram is lost
 	}
 	server, err := net.DialUDP("udp", nil, r.target)
 	if err != nil {
@@ -128,12 +218,22 @@ func (r *UDPRelay) serverLoop(cs *clientSession) {
 		if err != nil {
 			return
 		}
+		elapsed := time.Since(r.start)
+		if r.gate != nil && r.gate.LinkDown(elapsed) {
+			continue
+		}
 		deliverAt, drop := r.toClient.admit(n)
 		if drop {
 			continue
 		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
+		if r.gate != nil {
+			var gone bool
+			if pkt, gone = r.gate.Datagram(elapsed, pkt); gone {
+				continue
+			}
+		}
 		addr := cs.addr
 		r.deliverLater(deliverAt, func() {
 			r.conn.WriteToUDP(pkt, addr)
@@ -148,37 +248,43 @@ func (r *UDPRelay) deliverLater(at time.Time, fn func()) {
 		fn()
 		return
 	}
-	timer := time.AfterFunc(d, fn)
-	// Tie timer lifetime to the relay.
-	go func() {
-		select {
-		case <-r.closed:
-			timer.Stop()
-		case <-time.After(d + time.Second):
-		}
-	}()
+	r.timers.after(d, fn)
 }
 
 // TCPRelay accepts TCP connections and forwards them to a target,
 // pacing each direction at the shape's rate with added one-way delay.
 // The kernel's own TCP handles reliability below the relay, so loss is
-// not emulated here (shape.LossProb is ignored).
+// not emulated here (shape.LossProb is ignored); blackout windows stall
+// the byte stream instead of dropping it, which is what a real outage
+// does to TCP.
 type TCPRelay struct {
 	ln     net.Listener
 	target string
 	up     Shape
 	down   Shape
+	gate   FaultGate
+	start  time.Time
 	closed chan struct{}
 	wg     sync.WaitGroup
 }
 
 // NewTCPRelay starts a TCP relay on listenAddr forwarding to targetAddr.
 func NewTCPRelay(listenAddr, targetAddr string, up, down Shape) (*TCPRelay, error) {
+	return NewTCPRelayFaulty(listenAddr, targetAddr, up, down, nil)
+}
+
+// NewTCPRelayFaulty is NewTCPRelay with a fault gate: dial-failure
+// windows refuse new connections, blackout windows freeze both pump
+// directions until the window passes (or the relay closes).
+func NewTCPRelayFaulty(listenAddr, targetAddr string, up, down Shape, gate FaultGate) (*TCPRelay, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, err
 	}
-	r := &TCPRelay{ln: ln, target: targetAddr, up: up, down: down, closed: make(chan struct{})}
+	r := &TCPRelay{
+		ln: ln, target: targetAddr, up: up, down: down,
+		gate: gate, start: time.Now(), closed: make(chan struct{}),
+	}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
@@ -206,6 +312,10 @@ func (r *TCPRelay) acceptLoop() {
 		c, err := r.ln.Accept()
 		if err != nil {
 			return
+		}
+		if r.gate != nil && r.gate.DialFails(time.Since(r.start)) {
+			c.Close() // connection refused by the scenario
+			continue
 		}
 		upstream, err := net.Dial("tcp", r.target)
 		if err != nil {
@@ -242,6 +352,16 @@ func (r *TCPRelay) pump(src, dst net.Conn, shape Shape) {
 				case <-time.After(d):
 				case <-r.closed:
 					return
+				}
+			}
+			// Blackout: hold the bytes until the link comes back. The
+			// kernel's flow control pushes back on the sender, exactly
+			// like a dish losing its satellite mid-transfer.
+			for r.gate != nil && r.gate.LinkDown(time.Since(r.start)) {
+				select {
+				case <-r.closed:
+					return
+				case <-time.After(blackoutPoll):
 				}
 			}
 			if _, werr := dst.Write(buf[:n]); werr != nil {
