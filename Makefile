@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos bench
+.PHONY: check build vet test race chaos bench fsck-suite
 
 check: build vet test race
 
@@ -22,13 +22,24 @@ test:
 # The worker pool lives in internal/dataset; internal/core reads the
 # generated dataset and builds the memoized query index. Both must stay
 # race-clean for every Workers value, as must the socket-juggling
-# relays, the measurement clients and the fault injector/supervisor.
+# relays, the measurement clients, the fault injector/supervisor, and
+# the crash-safe store / trace loaders (whose corruption suites stress
+# concurrent-looking file lifecycles: checkpoint appends, atomic
+# renames, resumed exports).
 # Race instrumentation makes the core calibration gate several times
 # slower than its ~1.5 min normal run, so give it headroom beyond go
 # test's default 10 min timeout.
 race:
 	$(GO) test -race -timeout 45m ./internal/dataset/ ./internal/core/ \
-		./internal/netem/ ./internal/meas/... ./internal/faults/
+		./internal/netem/ ./internal/meas/... ./internal/faults/ \
+		./internal/store/ ./internal/trace/
+
+# The fsck suite exercises the crash-safe dataset store against seeded
+# corruption — truncation, bit-flips, torn renames, kill-and-resume —
+# plus the lenient/strict loaders, all under the race detector.
+fsck-suite:
+	$(GO) test -race -run 'Fsck|Resume|Corrupt|Lenient|Atomic|Manifest' \
+		-v -count=1 ./internal/store/ ./internal/trace/
 
 # The chaos suite runs the real measurement tools through relays while
 # the fault subsystem blacks out links, kills-and-restarts relays and

@@ -4,6 +4,12 @@
 //	figures -scale 0.25                 # all figures as text
 //	figures -figure fig9 -csv           # one figure's data as CSV
 //	figures -experiments                # only the markdown record
+//	figures -out figs                   # also write per-figure CSV artifacts
+//
+// With -out, each figure's data lands as a CSV file through the
+// crash-safe store: atomic writes plus a MANIFEST, so the artifact
+// directory is verifiable with satcell-analyze -fsck like the dataset
+// itself.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"os"
 
 	"satcell"
+	"satcell/internal/store"
 )
 
 func main() {
@@ -25,6 +32,7 @@ func main() {
 		mpWin   = flag.Int("mp-window", 300, "MPTCP replay window (seconds)")
 		mpN     = flag.Int("mp-windows", 3, "MPTCP replay window count")
 		workers = flag.Int("workers", 0, "generation worker goroutines (0 = all cores; output is identical for any value)")
+		outDir  = flag.String("out", "", "also write figure data as manifested CSV artifacts into this directory")
 	)
 	flag.Parse()
 
@@ -38,6 +46,9 @@ func main() {
 		if f == nil {
 			log.Fatalf("figures: unknown figure %q", *only)
 		}
+		if *outDir != "" {
+			writeArtifacts(*outDir, *seed, *scale, map[string]*satcell.Figure{*only: f})
+		}
 		if *asCSV {
 			fmt.Print(f.CSV())
 		} else {
@@ -48,6 +59,9 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "running analyses (fig10/fig11 replay packet-level transfers)...")
 	figs := world.Figures(ds, opts)
+	if *outDir != "" {
+		writeArtifacts(*outDir, *seed, *scale, figs)
+	}
 	if !*expOnly {
 		for _, id := range satcell.FigureIDs(figs) {
 			fmt.Print(figs[id].Render())
@@ -56,4 +70,17 @@ func main() {
 	}
 	fmt.Println("== Paper vs measured ==")
 	fmt.Print(satcell.RenderExperiments(satcell.Experiments(figs)))
+}
+
+// writeArtifacts persists each figure's data as <id>.csv through the
+// crash-safe store (atomic writes + trailing MANIFEST).
+func writeArtifacts(dir string, seed int64, scale float64, figs map[string]*satcell.Figure) {
+	files := make(map[string]string, len(figs))
+	for id, f := range figs {
+		files[id+".csv"] = f.CSV()
+	}
+	if err := store.ExportFigures(dir, seed, scale, files); err != nil {
+		log.Fatalf("figures: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "figures: wrote %d figure CSVs -> %s\n", len(files), dir)
 }

@@ -3,42 +3,76 @@
 // campaign would also produce): per-network throughput summaries,
 // per-area breakdowns and performance-level coverage shares.
 //
+// Ingestion is validating: by default malformed or truncated rows are
+// skipped and counted into a data-health report (lenient mode) instead
+// of aborting the whole load; -strict fails on the first bad row. The
+// -fsck mode audits a dataset directory written by drivegen — manifest
+// checksums, torn renames, schema, row counts, timestamp monotonicity —
+// and exits non-zero on any finding.
+//
 //	drivegen -scale 0.1 -out data
 //	satcell-analyze -tests data/tests.csv
+//	satcell-analyze -fsck data
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
-	"strconv"
 
+	"satcell/internal/core"
+	"satcell/internal/dataset"
 	"satcell/internal/report"
 	"satcell/internal/stats"
+	"satcell/internal/store"
 )
-
-// row is one parsed tests.csv record.
-type row struct {
-	network, kind, area string
-	throughput          float64
-	loss, retrans       float64
-}
 
 func main() {
 	var (
-		path = flag.String("tests", "data/tests.csv", "tests.csv produced by drivegen (or a field campaign)")
-		kind = flag.String("kind", "udp-down", "test kind to analyse")
+		path   = flag.String("tests", "data/tests.csv", "tests.csv produced by drivegen (or a field campaign)")
+		kind   = flag.String("kind", "udp-down", "test kind to analyse")
+		strict = flag.Bool("strict", false, "abort on the first malformed row instead of skip-and-count")
+		fsck   = flag.String("fsck", "", "verify a dataset directory (manifest, checksums, schema, timestamps) and exit")
 	)
 	flag.Parse()
 
-	rows, err := load(*path)
+	if *fsck != "" {
+		runFsck(*fsck)
+		return
+	}
+
+	mode := store.Lenient
+	if *strict {
+		mode = store.Strict
+	}
+	rows, rep, err := store.LoadTests(*path, mode)
 	if err != nil {
 		log.Fatalf("satcell-analyze: %v", err)
 	}
-	fmt.Printf("loaded %d tests from %s\n\n", len(rows), *path)
+
+	// Data-health KPIs first: skipped rows and failed tests frame every
+	// number below them.
+	outcomes := make(map[string]int)
+	for _, r := range rows {
+		outcomes[r.Outcome]++
+	}
+	fmt.Print(core.DataHealthFigure(rep.Files, rep.Rows, rep.Skipped, outcomes).Render())
+	for _, re := range rep.Errors {
+		fmt.Printf("  skipped %s:%d: %s\n", re.File, re.Line, re.Err)
+	}
+	fmt.Println()
+
+	// Failed tests measured nothing; keep them out of the distributions
+	// (they are accounted for in the outcome KPIs above).
+	failed := dataset.OutcomeFailed.String()
+	usable := rows[:0:0]
+	for _, r := range rows {
+		if r.Outcome != failed {
+			usable = append(usable, r)
+		}
+	}
+	fmt.Printf("loaded %d tests from %s (%d usable for analysis)\n\n", len(rows), *path, len(usable))
 
 	networks := []string{"RM", "MOB", "ATT", "TM", "VZ"}
 
@@ -47,10 +81,10 @@ func main() {
 		"net", "n", "mean", "median", "p75", "loss%", *kind)
 	for _, n := range networks {
 		var xs, losses []float64
-		for _, r := range rows {
-			if r.network == n && r.kind == *kind {
-				xs = append(xs, r.throughput)
-				losses = append(losses, r.loss)
+		for _, r := range usable {
+			if r.Network == n && r.Kind == *kind {
+				xs = append(xs, r.ThroughputMbps)
+				losses = append(losses, r.LossRate)
 			}
 		}
 		s := stats.Summarize(xs)
@@ -64,9 +98,9 @@ func main() {
 		bars := make([]report.Bar, 0, len(networks))
 		for _, n := range networks {
 			var xs []float64
-			for _, r := range rows {
-				if r.network == n && r.kind == *kind && r.area == area {
-					xs = append(xs, r.throughput)
+			for _, r := range usable {
+				if r.Network == n && r.Kind == *kind && r.Area == area {
+					xs = append(xs, r.ThroughputMbps)
 				}
 			}
 			bars = append(bars, report.Bar{Label: n, Value: stats.Mean(xs)})
@@ -80,17 +114,17 @@ func main() {
 	for _, n := range networks {
 		var counts [4]int
 		total := 0
-		for _, r := range rows {
-			if r.network != n || r.kind != *kind {
+		for _, r := range usable {
+			if r.Network != n || r.Kind != *kind {
 				continue
 			}
 			total++
 			switch {
-			case r.throughput < 20:
+			case r.ThroughputMbps < 20:
 				counts[0]++
-			case r.throughput < 50:
+			case r.ThroughputMbps < 50:
 				counts[1]++
-			case r.throughput < 100:
+			case r.ThroughputMbps < 100:
 				counts[2]++
 			default:
 				counts[3]++
@@ -109,49 +143,14 @@ func main() {
 		[]string{"very-low", "low", "medium", "high"}, 50, cols))
 }
 
-func load(path string) ([]row, error) {
-	f, err := os.Open(path)
+// runFsck audits a dataset directory and exits non-zero on findings.
+func runFsck(dir string) {
+	rep, err := store.Fsck(dir)
 	if err != nil {
-		return nil, err
+		log.Fatalf("satcell-analyze: fsck: %v", err)
 	}
-	defer f.Close()
-	cr := csv.NewReader(f)
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("read header: %w", err)
+	fmt.Print(rep)
+	if !rep.OK() {
+		os.Exit(1)
 	}
-	col := map[string]int{}
-	for i, name := range header {
-		col[name] = i
-	}
-	for _, need := range []string{"network", "kind", "area", "throughput_mbps", "loss_rate", "retrans_rate"} {
-		if _, ok := col[need]; !ok {
-			return nil, fmt.Errorf("missing column %q", need)
-		}
-	}
-	var rows []row
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		tput, err := strconv.ParseFloat(rec[col["throughput_mbps"]], 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad throughput %q: %w", rec[col["throughput_mbps"]], err)
-		}
-		loss, _ := strconv.ParseFloat(rec[col["loss_rate"]], 64)
-		retr, _ := strconv.ParseFloat(rec[col["retrans_rate"]], 64)
-		rows = append(rows, row{
-			network:    rec[col["network"]],
-			kind:       rec[col["kind"]],
-			area:       rec[col["area"]],
-			throughput: tput,
-			loss:       loss,
-			retrans:    retr,
-		})
-	}
-	return rows, nil
 }

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"satcell/internal/leo"
 	"satcell/internal/meas/tracker"
 	"satcell/internal/mobility"
+	"satcell/internal/store"
 )
 
 // driveProvider adapts a drive + channel model to tracker.Provider.
@@ -82,16 +84,17 @@ func main() {
 		log.Fatalf("satcell-tracker: %v", err)
 	}
 
-	w := os.Stdout
+	// File output goes through the crash-safe store: atomic rename plus
+	// checked close/flush, so ENOSPC (or any write failure) surfaces as
+	// an error instead of a silently truncated trace with exit code 0.
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatalf("satcell-tracker: %v", err)
-		}
-		defer f.Close()
-		w = f
+		err = store.WriteFileAtomic(*out, func(w io.Writer) error {
+			return tr.WriteJSONL(w)
+		})
+	} else {
+		err = tr.WriteJSONL(os.Stdout)
 	}
-	if err := tr.WriteJSONL(w); err != nil {
+	if err != nil {
 		log.Fatalf("satcell-tracker: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "satcell-tracker: %d records (%s on %s)\n",

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DataHealthFigure summarises ingestion health as a Figure: how many
+// rows the validating loader kept versus skipped, and the campaign's
+// outcome mix — the same skip-and-count surface the analyzer gives
+// failed tests, extended to malformed artifact rows. The analysis CLI
+// renders it ahead of the per-network summaries so dirty inputs are
+// visible next to the numbers they could have distorted.
+func DataHealthFigure(files, rows, skipped int, outcomes map[string]int) *Figure {
+	f := &Figure{
+		ID:     "health",
+		Title:  "Dataset ingestion health",
+		Kind:   Bars,
+		YLabel: "tests",
+	}
+	f.addKPI("files_loaded", float64(files))
+	f.addKPI("rows_loaded", float64(rows))
+	f.addKPI("rows_skipped", float64(skipped))
+	if rows+skipped > 0 {
+		f.addKPI("rows_skipped_share", float64(skipped)/float64(rows+skipped))
+	}
+	names := make([]string, 0, len(outcomes))
+	for name := range outcomes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := Series{Label: "outcomes"}
+	for i, name := range names {
+		f.addKPI("outcome_"+name, float64(outcomes[name]))
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, float64(outcomes[name]))
+	}
+	if len(names) > 0 {
+		f.Series = append(f.Series, s)
+		f.Notes = append(f.Notes, fmt.Sprintf("outcome order: %v", names))
+	}
+	if skipped > 0 {
+		f.Notes = append(f.Notes,
+			fmt.Sprintf("%d malformed rows skipped by the lenient loader (rerun with -strict to fail fast, or satcell-analyze -fsck to audit the artifact)", skipped))
+	}
+	return f
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDataHealthFigureKPIs(t *testing.T) {
+	f := DataHealthFigure(3, 620, 4, map[string]int{
+		"complete": 590, "truncated": 22, "failed": 8,
+	})
+	for kpi, want := range map[string]float64{
+		"files_loaded":      3,
+		"rows_loaded":       620,
+		"rows_skipped":      4,
+		"outcome_complete":  590,
+		"outcome_truncated": 22,
+		"outcome_failed":    8,
+	} {
+		if got := f.KPI(kpi); got != want {
+			t.Errorf("%s = %v, want %v", kpi, got, want)
+		}
+	}
+	share := f.KPI("rows_skipped_share")
+	if share <= 0 || share >= 0.01 {
+		t.Errorf("rows_skipped_share = %v", share)
+	}
+	text := f.Render()
+	if !strings.Contains(text, "rows_skipped") || !strings.Contains(text, "malformed rows skipped") {
+		t.Errorf("render missing health surface:\n%s", text)
+	}
+}
+
+func TestDataHealthFigureCleanLoad(t *testing.T) {
+	f := DataHealthFigure(1, 100, 0, map[string]int{"complete": 100})
+	if f.KPI("rows_skipped") != 0 {
+		t.Fatal("clean load should report zero skips")
+	}
+	if strings.Contains(f.Render(), "malformed") {
+		t.Fatal("clean load should not warn about malformed rows")
+	}
+}

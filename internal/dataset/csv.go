@@ -1,0 +1,45 @@
+package dataset
+
+import "strconv"
+
+// TestsCSVHeader is the column layout of the campaign's tests.csv
+// artifact (the drivegen export format; a real field campaign would
+// produce the same shape). internal/store reads and writes it.
+var TestsCSVHeader = []string{
+	"id", "network", "kind", "route", "state", "start_s", "duration_s",
+	"area", "mean_speed_kmh", "throughput_mbps", "loss_rate", "retrans_rate",
+	"outcome",
+}
+
+// CSVRecord renders the test as one tests.csv row, matching
+// TestsCSVHeader column for column.
+func (t *Test) CSVRecord() []string {
+	return []string{
+		strconv.Itoa(t.ID),
+		t.Network.String(),
+		t.Kind.String(),
+		t.Route,
+		t.State,
+		strconv.FormatFloat(t.Start.Seconds(), 'f', 0, 64),
+		strconv.FormatFloat(t.Duration.Seconds(), 'f', 0, 64),
+		t.Area.String(),
+		strconv.FormatFloat(t.MeanSpeedKmh, 'f', 1, 64),
+		strconv.FormatFloat(t.ThroughputMbps, 'f', 2, 64),
+		strconv.FormatFloat(t.LossRate, 'f', 5, 64),
+		strconv.FormatFloat(t.RetransRate, 'f', 5, 64),
+		t.Outcome.String(),
+	}
+}
+
+// Outcomes lists every test outcome in declaration order.
+var Outcomes = []Outcome{OutcomeComplete, OutcomeTruncated, OutcomeFailed}
+
+// ParseOutcome converts an outcome name back to an Outcome.
+func ParseOutcome(s string) (Outcome, bool) {
+	for _, o := range Outcomes {
+		if o.String() == s {
+			return o, true
+		}
+	}
+	return 0, false
+}

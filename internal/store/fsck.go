@@ -1,0 +1,152 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Problem is one integrity finding of Fsck.
+type Problem struct {
+	// File names the artifact (or control file) at fault; empty for
+	// directory-level findings.
+	File string
+	Desc string
+}
+
+// FsckReport is the outcome of one dataset-directory audit.
+type FsckReport struct {
+	Dir          string
+	FilesChecked int
+	RowsChecked  int
+	Problems     []Problem
+}
+
+// OK reports whether the directory passed every check.
+func (r *FsckReport) OK() bool { return len(r.Problems) == 0 }
+
+// String renders the report, one finding per line.
+func (r *FsckReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fsck %s: %d files, %d rows checked\n", r.Dir, r.FilesChecked, r.RowsChecked)
+	if r.OK() {
+		b.WriteString("  ok: manifest, checksums, schema and timestamps all verify\n")
+		return b.String()
+	}
+	for _, p := range r.Problems {
+		name := p.File
+		if name == "" {
+			name = "."
+		}
+		fmt.Fprintf(&b, "  BAD %-32s %s\n", name, p.Desc)
+	}
+	return b.String()
+}
+
+func (r *FsckReport) problem(file, format string, args ...any) {
+	r.Problems = append(r.Problems, Problem{File: file, Desc: fmt.Sprintf(format, args...)})
+}
+
+// Fsck audits a dataset directory: manifest presence and schema,
+// per-file sha256 and sizes, leftover torn-rename temp files, unknown
+// files, an unretired checkpoint, tests.csv/trace schema validity, row
+// counts and trace timestamp monotonicity. It returns an error only
+// when the directory itself cannot be read; integrity findings land in
+// the report.
+func Fsck(dir string) (*FsckReport, error) {
+	rep := &FsckReport{Dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	onDisk := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		name := e.Name()
+		onDisk[name] = true
+		if IsTempFile(name) {
+			rep.problem(name, "torn rename: leftover atomic-write temp file")
+		}
+	}
+	if onDisk[CheckpointName] {
+		rep.problem(CheckpointName,
+			"incomplete campaign: checkpoint journal present (resume with drivegen -resume)")
+	}
+	if !onDisk[ManifestName] {
+		rep.problem(ManifestName, "missing manifest: directory was never completed")
+		return rep, nil
+	}
+
+	m, err := ReadManifest(dir)
+	if err != nil {
+		rep.problem(ManifestName, "%v", err)
+		return rep, nil
+	}
+	names := make([]string, 0, len(m.Files))
+	for name := range m.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep.FilesChecked++
+		if err := m.VerifyFile(dir, name); err != nil {
+			rep.problem(name, "%v", err)
+			continue
+		}
+		fsckContent(dir, name, m.Files[name], rep)
+	}
+	for name := range onDisk {
+		if name == ManifestName || name == CheckpointName || IsTempFile(name) {
+			continue
+		}
+		if _, ok := m.Files[name]; !ok {
+			rep.problem(name, "unknown file: not listed in the manifest")
+		}
+	}
+	return rep, nil
+}
+
+// fsckContent runs format-level checks on a checksum-verified artifact:
+// strict parse, manifest row count, and — for traces — strictly
+// increasing timestamps. The checksum already rules out disk
+// corruption; these checks catch writer bugs and hand-edited files
+// whose manifest was regenerated around them.
+func fsckContent(dir, name string, fi FileInfo, rep *FsckReport) {
+	path := filepath.Join(dir, name)
+	switch {
+	case name == "tests.csv":
+		rows, loadRep, err := LoadTests(path, Strict)
+		if err != nil {
+			rep.problem(name, "%v", err)
+			return
+		}
+		rep.RowsChecked += loadRep.Rows
+		if len(rows) != fi.Rows {
+			rep.problem(name, "row count %d, manifest says %d", len(rows), fi.Rows)
+		}
+	case strings.HasPrefix(name, "drive") && strings.HasSuffix(name, ".csv"):
+		tr, loadRep, err := LoadTrace(path, Strict)
+		if err != nil {
+			rep.problem(name, "%v", err)
+			return
+		}
+		rep.RowsChecked += loadRep.Rows
+		if len(tr.Samples) != fi.Rows {
+			rep.problem(name, "row count %d, manifest says %d", len(tr.Samples), fi.Rows)
+		}
+		last := time.Duration(-1)
+		for i, s := range tr.Samples {
+			if s.At <= last {
+				rep.problem(name, "timestamps not strictly increasing at sample %d (%v after %v)",
+					i, s.At, last)
+				break
+			}
+			last = s.At
+		}
+	}
+}

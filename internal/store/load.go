@@ -1,0 +1,252 @@
+package store
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"satcell/internal/channel"
+	"satcell/internal/dataset"
+	"satcell/internal/trace"
+)
+
+// Mode selects how the loaders treat malformed rows.
+type Mode int
+
+const (
+	// Strict aborts the load on the first malformed row (the right
+	// default for fsck and golden comparisons).
+	Strict Mode = iota
+	// Lenient skips malformed rows and counts them into the LoadReport
+	// (the right default for analysis: one truncated line must not
+	// discard a 1,000-test campaign).
+	Lenient
+)
+
+// maxRowErrors caps the per-report error detail; skips beyond the cap
+// are still counted, just not itemised.
+const maxRowErrors = 20
+
+// RowError locates one malformed row.
+type RowError struct {
+	File string
+	Line int
+	Err  string
+}
+
+// LoadReport is the structured outcome of a validating load: how much
+// data arrived and how much was skipped, surfaced by the analyzer as
+// KPIs the way test outcomes are.
+type LoadReport struct {
+	Files   int
+	Rows    int
+	Skipped int
+	// Errors itemises the first maxRowErrors skipped rows.
+	Errors []RowError
+}
+
+// note counts one skipped row.
+func (r *LoadReport) note(file string, line int, err error) {
+	r.Skipped++
+	if len(r.Errors) < maxRowErrors {
+		r.Errors = append(r.Errors, RowError{File: file, Line: line, Err: err.Error()})
+	}
+}
+
+// String renders the report as a one-line KPI summary.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("%d files, %d rows loaded, %d rows skipped", r.Files, r.Rows, r.Skipped)
+}
+
+// TestRow is one parsed tests.csv record. String-typed columns stay
+// strings so the loader accepts field campaigns with networks or areas
+// the simulator does not model.
+type TestRow struct {
+	ID                           int
+	Network, Kind, Route, State  string
+	StartS, DurationS            float64
+	Area                         string
+	MeanSpeedKmh, ThroughputMbps float64
+	LossRate, RetransRate        float64
+	Outcome                      string
+}
+
+// requiredTestColumns must be present in a tests.csv header; the
+// remaining dataset.TestsCSVHeader columns are optional so older (or
+// foreign) artifacts still load.
+var requiredTestColumns = []string{
+	"network", "kind", "area", "throughput_mbps", "loss_rate", "retrans_rate",
+}
+
+// LoadTests opens and parses a tests.csv file.
+func LoadTests(path string, mode Mode) ([]TestRow, *LoadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	rep := &LoadReport{}
+	rows, err := ReadTests(f, path, mode, rep)
+	return rows, rep, err
+}
+
+// ReadTests parses tests.csv records from r, accumulating into rep.
+// Structural problems (empty input, missing required columns) fail in
+// both modes; per-row problems fail in Strict mode and skip-and-count
+// in Lenient mode.
+func ReadTests(r io.Reader, name string, mode Mode, rep *LoadReport) ([]TestRow, error) {
+	cr := csv.NewReader(stripBOMReader(r))
+	cr.FieldsPerRecord = -1
+	cr.LazyQuotes = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("store: %s: empty tests file (no header)", name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: read header: %w", name, err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+	for _, need := range requiredTestColumns {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("store: %s: missing column %q", name, need)
+		}
+	}
+	rep.Files++
+
+	var rows []TestRow
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line := 0
+		if err != nil {
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				line = pe.Line
+			}
+			if ferr := failOrSkip(mode, rep, name, line, err); ferr != nil {
+				return nil, ferr
+			}
+			continue
+		}
+		if len(rec) == 1 && strings.TrimSpace(rec[0]) == "" {
+			continue // trailing blank / whitespace-only lines are not data
+		}
+		line, _ = cr.FieldPos(0)
+		row, err := parseTestRow(rec, header, col)
+		if err != nil {
+			if ferr := failOrSkip(mode, rep, name, line, err); ferr != nil {
+				return nil, ferr
+			}
+			continue
+		}
+		rows = append(rows, row)
+		rep.Rows++
+	}
+	return rows, nil
+}
+
+// failOrSkip applies the mode to one malformed row.
+func failOrSkip(mode Mode, rep *LoadReport, name string, line int, err error) error {
+	if mode == Strict {
+		return fmt.Errorf("store: %s: line %d: %w", name, line, err)
+	}
+	rep.note(name, line, err)
+	return nil
+}
+
+// parseTestRow validates one tests.csv record against the header.
+func parseTestRow(rec, header []string, col map[string]int) (TestRow, error) {
+	var row TestRow
+	if len(rec) != len(header) {
+		return row, fmt.Errorf("%d fields, want %d", len(rec), len(header))
+	}
+	get := func(name string) (string, bool) {
+		i, ok := col[name]
+		if !ok || i >= len(rec) {
+			return "", false
+		}
+		return strings.TrimSpace(rec[i]), true
+	}
+	num := func(name string, dst *float64) error {
+		s, ok := get(name)
+		if !ok {
+			return nil // optional column absent
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("bad %s %q", name, s)
+		}
+		*dst = v
+		return nil
+	}
+	row.Network, _ = get("network")
+	row.Kind, _ = get("kind")
+	row.Area, _ = get("area")
+	row.Route, _ = get("route")
+	row.State, _ = get("state")
+	if row.Network == "" || row.Kind == "" || row.Area == "" {
+		return row, errors.New("empty network/kind/area")
+	}
+	if s, ok := get("id"); ok {
+		id, err := strconv.Atoi(s)
+		if err != nil {
+			return row, fmt.Errorf("bad id %q", s)
+		}
+		row.ID = id
+	}
+	for _, f := range []struct {
+		name string
+		dst  *float64
+	}{
+		{"start_s", &row.StartS}, {"duration_s", &row.DurationS},
+		{"mean_speed_kmh", &row.MeanSpeedKmh}, {"throughput_mbps", &row.ThroughputMbps},
+		{"loss_rate", &row.LossRate}, {"retrans_rate", &row.RetransRate},
+	} {
+		if err := num(f.name, f.dst); err != nil {
+			return row, err
+		}
+	}
+	if s, ok := get("outcome"); ok {
+		if _, known := dataset.ParseOutcome(s); !known {
+			return row, fmt.Errorf("bad outcome %q", s)
+		}
+		row.Outcome = s
+	} else {
+		// Pre-outcome artifacts carry only completed measurements.
+		row.Outcome = dataset.OutcomeComplete.String()
+	}
+	return row, nil
+}
+
+// LoadTrace opens and parses one trace CSV shard through the strict or
+// lenient trace reader, feeding skips into a LoadReport.
+func LoadTrace(path string, mode Mode) (*channel.Trace, *LoadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	rep := &LoadReport{Files: 1}
+	var tr *channel.Trace
+	if mode == Strict {
+		tr, err = trace.ReadCSV(f)
+	} else {
+		tr, err = trace.ReadCSVLenient(f, func(line int, rowErr error) {
+			rep.note(path, line, rowErr)
+		})
+	}
+	if err != nil {
+		return nil, rep, fmt.Errorf("store: %s: %w", path, err)
+	}
+	rep.Rows = len(tr.Samples)
+	return tr, rep, nil
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Artifact-directory control files. MANIFEST is written last, after
+// every shard: its presence certifies a complete campaign. CHECKPOINT
+// exists only while an export is in flight (or after a crash); it is
+// the shard journal a resumed export verifies against.
+const (
+	ManifestName   = "MANIFEST"
+	CheckpointName = "CHECKPOINT"
+)
+
+// SchemaVersion is the manifest/checkpoint schema this build writes.
+// Readers accept any version up to it and refuse newer ones.
+const SchemaVersion = 1
+
+// FileInfo records the identity of one artifact file.
+type FileInfo struct {
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+	// Rows counts the file's data rows (trace samples, tests) excluding
+	// the header, so Fsck can cross-check content against identity.
+	Rows int `json:"rows"`
+}
+
+// Manifest describes one complete artifact directory.
+type Manifest struct {
+	Schema int                 `json:"schema"`
+	Tool   string              `json:"tool"`
+	Seed   int64               `json:"seed"`
+	Scale  float64             `json:"scale"`
+	Files  map[string]FileInfo `json:"files"`
+}
+
+// NewManifest starts an empty manifest for the given provenance.
+func NewManifest(tool string, seed int64, scale float64) *Manifest {
+	return &Manifest{Schema: SchemaVersion, Tool: tool, Seed: seed, Scale: scale,
+		Files: make(map[string]FileInfo)}
+}
+
+// Add records one artifact file.
+func (m *Manifest) Add(name string, fi FileInfo) { m.Files[name] = fi }
+
+// Write persists the manifest atomically into dir. Callers must write
+// it last: its arrival is what marks the directory complete.
+func (m *Manifest) Write(dir string) error {
+	return WriteFileAtomic(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// ReadManifest loads and validates dir's MANIFEST.
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("store: parse %s: %w", ManifestName, err)
+	}
+	if m.Schema < 1 || m.Schema > SchemaVersion {
+		return nil, fmt.Errorf("store: %s schema %d not supported (this build reads <= %d)",
+			ManifestName, m.Schema, SchemaVersion)
+	}
+	for name := range m.Files {
+		if !safeArtifactName(name) {
+			return nil, fmt.Errorf("store: %s lists unsafe file name %q", ManifestName, name)
+		}
+	}
+	return &m, nil
+}
+
+// safeArtifactName rejects manifest entries that could escape the
+// dataset directory (path separators, "..", control files).
+func safeArtifactName(name string) bool {
+	if name == "" || name == ManifestName || name == CheckpointName {
+		return false
+	}
+	if strings.ContainsAny(name, `/\`) || name == "." || name == ".." {
+		return false
+	}
+	return filepath.Base(name) == name
+}
+
+// VerifyFile checks one manifest entry against the file on disk,
+// distinguishing missing, truncated/resized and bit-corrupted files.
+func (m *Manifest) VerifyFile(dir, name string) error {
+	fi, ok := m.Files[name]
+	if !ok {
+		return fmt.Errorf("store: %s not in manifest", name)
+	}
+	sum, size, err := HashFile(filepath.Join(dir, name))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("store: %s missing", name)
+	}
+	if err != nil {
+		return err
+	}
+	if size != fi.Bytes {
+		return fmt.Errorf("store: %s is %d bytes, manifest says %d (truncated or resized)",
+			name, size, fi.Bytes)
+	}
+	if sum != fi.SHA256 {
+		return fmt.Errorf("store: %s checksum mismatch (bit corruption)", name)
+	}
+	return nil
+}

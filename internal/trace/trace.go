@@ -8,9 +8,11 @@ package trace
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"time"
 
 	"satcell/internal/channel"
@@ -50,49 +52,132 @@ func WriteCSV(w io.Writer, tr *channel.Trace) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a trace written by WriteCSV.
+// ReadCSV parses a trace written by WriteCSV. It is strict: the first
+// malformed record aborts the read with a "trace:"-prefixed error naming
+// the offending line. Empty lines, whitespace-only lines (including bare
+// CR from CRLF artifacts) and a UTF-8 BOM are tolerated in both modes.
 func ReadCSV(r io.Reader) (*channel.Trace, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(csvHeader) + 1
+	return readCSV(r, false, nil)
+}
+
+// ReadCSVLenient parses like ReadCSV but skips malformed records instead
+// of failing: each skipped row is reported to onSkip (if non-nil) with
+// its line number and a "trace:"-prefixed error. Structural problems —
+// empty input, a wrong header — still fail, since nothing after them can
+// be trusted.
+func ReadCSVLenient(r io.Reader, onSkip func(line int, err error)) (*channel.Trace, error) {
+	return readCSV(r, true, onSkip)
+}
+
+// maxConsecutiveBadRows bounds lenient-mode error tolerance so a file
+// that is not a trace at all fails instead of silently skipping forever.
+const maxConsecutiveBadRows = 10000
+
+func readCSV(r io.Reader, lenient bool, onSkip func(int, error)) (*channel.Trace, error) {
+	cr := csv.NewReader(stripBOM(r))
+	cr.FieldsPerRecord = -1 // field counts are validated per record below
+	cr.LazyQuotes = true
 	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, errors.New("trace: empty trace file (no header)")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("trace: read header: %w", err)
 	}
-	if header[0] != "network" {
+	if strings.TrimSpace(header[0]) != "network" {
 		return nil, fmt.Errorf("trace: unexpected header %q", header[0])
 	}
+	wantFields := len(csvHeader) + 1
 	tr := &channel.Trace{}
 	first := true
+	bad := 0
+	skip := func(line int, rowErr error) error {
+		if !lenient {
+			return rowErr
+		}
+		if bad++; bad > maxConsecutiveBadRows {
+			return fmt.Errorf("trace: giving up after %d consecutive malformed rows: %w",
+				maxConsecutiveBadRows, rowErr)
+		}
+		if onSkip != nil {
+			onSkip(line, rowErr)
+		}
+		return nil
+	}
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: read record: %w", err)
-		}
-		if first {
-			n, err := channel.ParseNetwork(rec[0])
-			if err != nil {
-				return nil, err
+			line := 0
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				line = pe.Line
 			}
+			if serr := skip(line, fmt.Errorf("trace: line %d: %w", line, err)); serr != nil {
+				return nil, serr
+			}
+			continue
+		}
+		if blankRecord(rec) {
+			continue // trailing blank / whitespace-only lines are not data
+		}
+		line, _ := cr.FieldPos(0)
+		s, n, err := parseRecord(rec, wantFields)
+		if err == nil && !first && n != tr.Network {
+			err = fmt.Errorf("network changed mid-trace: %v then %v", tr.Network, n)
+		}
+		if err != nil {
+			if serr := skip(line, fmt.Errorf("trace: line %d: %w", line, err)); serr != nil {
+				return nil, serr
+			}
+			continue
+		}
+		bad = 0
+		if first {
 			tr.Network = n
 			first = false
-		}
-		s, err := parseSample(rec[1:])
-		if err != nil {
-			return nil, err
 		}
 		tr.Samples = append(tr.Samples, s)
 	}
 	return tr, nil
 }
 
+// stripBOM removes a leading UTF-8 byte-order mark, which spreadsheet
+// tools like to prepend when re-saving CSV artifacts.
+func stripBOM(r io.Reader) io.Reader {
+	br := bufio.NewReader(r)
+	if b, err := br.Peek(3); err == nil && b[0] == 0xEF && b[1] == 0xBB && b[2] == 0xBF {
+		br.Discard(3)
+	}
+	return br
+}
+
+// blankRecord reports whether rec is an empty or whitespace-only line
+// (encoding/csv only skips fully empty lines on its own).
+func blankRecord(rec []string) bool {
+	return len(rec) == 1 && strings.TrimSpace(rec[0]) == ""
+}
+
+// parseRecord validates and parses one data record (network + sample).
+func parseRecord(rec []string, wantFields int) (channel.Sample, channel.Network, error) {
+	if len(rec) != wantFields {
+		return channel.Sample{}, 0, fmt.Errorf("%d fields, want %d", len(rec), wantFields)
+	}
+	n, err := channel.ParseNetwork(strings.TrimSpace(rec[0]))
+	if err != nil {
+		return channel.Sample{}, 0, err
+	}
+	s, err := parseSample(rec[1:])
+	return s, n, err
+}
+
 func parseSample(rec []string) (channel.Sample, error) {
 	var s channel.Sample
-	atMs, err := strconv.ParseInt(rec[0], 10, 64)
+	atMs, err := strconv.ParseInt(strings.TrimSpace(rec[0]), 10, 64)
 	if err != nil {
-		return s, fmt.Errorf("trace: bad at_ms %q: %w", rec[0], err)
+		return s, fmt.Errorf("bad at_ms %q: %w", rec[0], err)
 	}
 	s.At = time.Duration(atMs) * time.Millisecond
 	fields := []*float64{&s.DownMbps, &s.UpMbps, nil, &s.LossDown, &s.LossUp, &s.SignalDB}
@@ -100,21 +185,21 @@ func parseSample(rec []string) (channel.Sample, error) {
 		if dst == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(rec[1+i], 64)
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[1+i]), 64)
 		if err != nil {
-			return s, fmt.Errorf("trace: bad field %d %q: %w", i, rec[1+i], err)
+			return s, fmt.Errorf("bad field %d %q: %w", i, rec[1+i], err)
 		}
 		*dst = v
 	}
-	rttMs, err := strconv.ParseFloat(rec[3], 64)
+	rttMs, err := strconv.ParseFloat(strings.TrimSpace(rec[3]), 64)
 	if err != nil {
-		return s, fmt.Errorf("trace: bad rtt %q: %w", rec[3], err)
+		return s, fmt.Errorf("bad rtt %q: %w", rec[3], err)
 	}
 	s.RTT = time.Duration(rttMs * float64(time.Millisecond))
 	s.Serving = rec[7]
-	s.Outage, err = strconv.ParseBool(rec[8])
+	s.Outage, err = strconv.ParseBool(strings.TrimSpace(rec[8]))
 	if err != nil {
-		return s, fmt.Errorf("trace: bad outage %q: %w", rec[8], err)
+		return s, fmt.Errorf("bad outage %q: %w", rec[8], err)
 	}
 	return s, nil
 }
@@ -163,28 +248,54 @@ func WriteMahimahi(w io.Writer, tr *channel.Trace, uplink bool) error {
 
 // ReadMahimahi parses a Mahimahi delivery-opportunity trace back into a
 // per-second capacity trace (Mbps), attributing each opportunity to its
-// second.
+// second. It is strict: the first malformed line aborts with a
+// "trace:"-prefixed error naming the line. Blank and whitespace-only
+// lines (including CRLF artifacts) are tolerated; a file with no
+// opportunities at all is an error.
 func ReadMahimahi(r io.Reader, network channel.Network) (*channel.Trace, error) {
-	sc := bufio.NewScanner(r)
+	return readMahimahi(r, network, false, nil)
+}
+
+// ReadMahimahiLenient parses like ReadMahimahi but skips malformed lines
+// instead of failing, reporting each skip to onSkip (if non-nil).
+func ReadMahimahiLenient(r io.Reader, network channel.Network, onSkip func(line int, err error)) (*channel.Trace, error) {
+	return readMahimahi(r, network, true, onSkip)
+}
+
+func readMahimahi(r io.Reader, network channel.Network, lenient bool, onSkip func(int, error)) (*channel.Trace, error) {
+	sc := bufio.NewScanner(stripBOM(r))
 	counts := make(map[int64]int64)
-	var maxSec int64
+	var maxSec, total int64
+	lineNo := 0
 	for sc.Scan() {
-		line := sc.Text()
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		ms, err := strconv.ParseInt(line, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: bad mahimahi line %q: %w", line, err)
+		if err != nil || ms < 0 {
+			rowErr := fmt.Errorf("trace: mahimahi line %d: bad opportunity %q", lineNo, line)
+			if !lenient {
+				return nil, rowErr
+			}
+			if onSkip != nil {
+				onSkip(lineNo, rowErr)
+			}
+			continue
 		}
 		sec := ms / 1000
 		counts[sec]++
+		total++
 		if sec > maxSec {
 			maxSec = sec
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: read mahimahi: %w", err)
+	}
+	if total == 0 {
+		return nil, errors.New("trace: empty mahimahi trace (no delivery opportunities)")
 	}
 	tr := &channel.Trace{Network: network}
 	for sec := int64(0); sec <= maxSec; sec++ {

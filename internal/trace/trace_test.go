@@ -153,6 +153,159 @@ func TestAlign(t *testing.T) {
 	}
 }
 
+func TestReadCSVEmptyAndHeaderOnly(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader(""))
+	if err == nil || !strings.HasPrefix(err.Error(), "trace:") {
+		t.Fatalf("empty input: want trace:-prefixed error, got %v", err)
+	}
+	header := "network,at_ms,down_mbps,up_mbps,rtt_ms,loss_down,loss_up,signal_db,serving,outage\n"
+	tr, err := ReadCSV(strings.NewReader(header))
+	if err != nil {
+		t.Fatalf("header-only file should parse as an empty trace: %v", err)
+	}
+	if len(tr.Samples) != 0 {
+		t.Fatalf("header-only file yielded %d samples", len(tr.Samples))
+	}
+}
+
+func TestReadCSVCRLFBOMAndTrailingBlanks(t *testing.T) {
+	tr := sampleTrace(channel.Verizon, 5, 40)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Re-save the file the way a spreadsheet tool would: BOM, CRLF line
+	// endings, trailing blank and whitespace-only lines.
+	mangled := "\xef\xbb\xbf" + strings.ReplaceAll(buf.String(), "\n", "\r\n") + "\r\n\n   \n"
+	got, err := ReadCSV(strings.NewReader(mangled))
+	if err != nil {
+		t.Fatalf("CRLF/BOM/trailing-blank file should parse: %v", err)
+	}
+	if len(got.Samples) != 5 || got.Network != channel.Verizon {
+		t.Fatalf("got %d samples network %v", len(got.Samples), got.Network)
+	}
+}
+
+func TestReadCSVStrictNamesLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleTrace(channel.ATT, 3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	lines[2] = strings.Replace(lines[2], "ATT", "ATT,extra", 1) // wrong field count on line 3
+	_, err := ReadCSV(strings.NewReader(strings.Join(lines, "\n")))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want error naming line 3, got %v", err)
+	}
+}
+
+func TestReadCSVLenientSkipsAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleTrace(channel.TMobile, 6, 30)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	lines[2] = "TM,notanumber,1,1,1,0,0,0,x,false"        // bad at_ms
+	lines[4] = "short,row"                                // wrong field count
+	lines[5] = strings.Replace(lines[5], "TM,", "VZ,", 1) // network change mid-trace
+	in := strings.Join(lines, "\n")
+
+	var skipped []int
+	tr, err := ReadCSVLenient(strings.NewReader(in), func(line int, err error) {
+		if !strings.HasPrefix(err.Error(), "trace:") {
+			t.Errorf("skip error not trace:-prefixed: %v", err)
+		}
+		skipped = append(skipped, line)
+	})
+	if err != nil {
+		t.Fatalf("lenient read should not abort: %v", err)
+	}
+	if len(tr.Samples) != 3 {
+		t.Fatalf("kept %d samples, want 3", len(tr.Samples))
+	}
+	if len(skipped) != 3 {
+		t.Fatalf("skipped lines %v, want 3 skips", skipped)
+	}
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("strict read of the same input should fail")
+	}
+}
+
+func TestReadMahimahiHardening(t *testing.T) {
+	if _, err := ReadMahimahi(strings.NewReader(""), channel.ATT); err == nil ||
+		!strings.HasPrefix(err.Error(), "trace:") {
+		t.Fatal("empty mahimahi trace should fail with a trace: error")
+	}
+	if _, err := ReadMahimahi(strings.NewReader("\n \n\r\n"), channel.ATT); err == nil {
+		t.Fatal("blank-only mahimahi trace should fail")
+	}
+	tr, err := ReadMahimahi(strings.NewReader("0\r\n500\r\n1200\r\n\r\n"), channel.ATT)
+	if err != nil {
+		t.Fatalf("CRLF mahimahi trace should parse: %v", err)
+	}
+	if len(tr.Samples) != 2 {
+		t.Fatalf("got %d seconds, want 2", len(tr.Samples))
+	}
+	_, err = ReadMahimahi(strings.NewReader("12\nxx\n"), channel.ATT)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want error naming line 2, got %v", err)
+	}
+	n := 0
+	tr, err = ReadMahimahiLenient(strings.NewReader("12\nxx\n-4\n900\n"), channel.ATT,
+		func(line int, err error) { n++ })
+	if err != nil || n != 2 || len(tr.Samples) != 1 {
+		t.Fatalf("lenient mahimahi: err=%v skips=%d samples=%d", err, n, len(tr.Samples))
+	}
+}
+
+func TestAlignSingleTrace(t *testing.T) {
+	a := sampleTrace(channel.ATT, 8, 20)
+	aligned := Align(a)
+	if len(aligned) != 1 || len(aligned[0].Samples) != 8 {
+		t.Fatalf("single-trace align broke: %d traces", len(aligned))
+	}
+	if aligned[0] == a {
+		t.Fatal("align should return a copy, not the input")
+	}
+}
+
+func TestAlignEmptySampleTrace(t *testing.T) {
+	full := sampleTrace(channel.ATT, 8, 20)
+	empty := &channel.Trace{Network: channel.Verizon}
+	aligned := Align(full, empty)
+	// The empty trace's duration is zero, so the common span collapses
+	// to the first instant: the full trace keeps only its t=0 sample.
+	if len(aligned[0].Samples) != 1 || aligned[0].Samples[0].At != 0 {
+		t.Fatalf("full trace trimmed to %d samples", len(aligned[0].Samples))
+	}
+	if len(aligned[1].Samples) != 0 {
+		t.Fatal("empty trace should stay empty")
+	}
+}
+
+func TestAlignDisjointRanges(t *testing.T) {
+	early := sampleTrace(channel.ATT, 10, 20) // covers [0s, 9s]
+	late := &channel.Trace{Network: channel.Verizon}
+	for i := 0; i < 10; i++ { // covers [100s, 109s]
+		late.Samples = append(late.Samples, channel.Sample{
+			At: time.Duration(100+i) * time.Second, DownMbps: 5,
+		})
+	}
+	aligned := Align(early, late)
+	da, db := aligned[0].Duration(), aligned[1].Duration()
+	if da != db && len(aligned[1].Samples) != 0 {
+		t.Fatalf("disjoint align inconsistent: %v vs %v", da, db)
+	}
+	// The late trace has no samples inside the common [0, 9s] span:
+	// disjoint inputs yield an empty overlap, not a crash.
+	if len(aligned[1].Samples) != 0 {
+		t.Fatalf("late trace kept %d samples inside a disjoint span", len(aligned[1].Samples))
+	}
+	if len(aligned[0].Samples) != 10 {
+		t.Fatalf("early trace trimmed to %d samples", len(aligned[0].Samples))
+	}
+}
+
 func TestChannelTraceAt(t *testing.T) {
 	tr := sampleTrace(channel.TMobile, 10, 50)
 	if got := tr.At(-time.Second); got.At != 0 {
