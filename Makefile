@@ -6,15 +6,21 @@
 
 GO ?= go
 
-.PHONY: check build vet test race chaos bench fsck-suite
+.PHONY: check build vet fmt test race chaos bench fsck-suite obs-suite
 
-check: build vet test race
+check: build vet fmt test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# gofmt as a gate: fail (and name the files) when anything is
+# unformatted, instead of silently drifting.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -32,7 +38,15 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./internal/dataset/ ./internal/core/ \
 		./internal/netem/ ./internal/meas/... ./internal/faults/ \
-		./internal/store/ ./internal/trace/
+		./internal/store/ ./internal/trace/ ./internal/obs/
+
+# The obs suite exercises the observability layer under the race
+# detector: registry/tracer/logger concurrency, the debug endpoint, and
+# the relay counter conservation invariant (bytes in == bytes out +
+# drops) under concurrent client sessions.
+obs-suite:
+	$(GO) test -race -v -count=1 ./internal/obs/
+	$(GO) test -race -v -count=1 -run 'Relay.*(Counters|Noop|Restart)' ./internal/netem/
 
 # The fsck suite exercises the crash-safe dataset store against seeded
 # corruption — truncation, bit-flips, torn renames, kill-and-resume —

@@ -14,39 +14,61 @@
 //	drivegen -scale 0.1 -seed 42 -out ./data
 //	drivegen -scale 0.1 -seed 42 -out ./data -resume   # after a crash
 //	satcell-analyze -fsck ./data                        # audit the result
+//
+// A long full-scale run can be watched live: -debug-addr serves
+// /debug/vars with generation progress (tests done/total, per-worker
+// throughput, tests/sec, ETA) and export progress (shards written/
+// reused), plus pprof for profiling the worker pool.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
 
 	"satcell"
+	"satcell/internal/obs"
 	"satcell/internal/store"
 )
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0.1, "campaign scale (1.0 = the paper's ~3,800 km)")
-		seed    = flag.Int64("seed", 42, "world seed")
-		out     = flag.String("out", "data", "output directory")
-		workers = flag.Int("workers", 0, "generation worker goroutines (0 = all cores; output is identical for any value)")
-		resume  = flag.Bool("resume", false, "resume an interrupted campaign: keep verified shards, regenerate missing/corrupt ones")
+		scale     = flag.Float64("scale", 0.1, "campaign scale (1.0 = the paper's ~3,800 km)")
+		seed      = flag.Int64("seed", 42, "world seed")
+		out       = flag.String("out", "data", "output directory")
+		workers   = flag.Int("workers", 0, "generation worker goroutines (0 = all cores; output is identical for any value)")
+		resume    = flag.Bool("resume", false, "resume an interrupted campaign: keep verified shards, regenerate missing/corrupt ones")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars (generation progress, ETA) and /debug/pprof/ on this address")
 	)
 	flag.Parse()
+	logger := obs.NewLogger("drivegen")
+
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.ServeDebug(*debugAddr, reg, nil, map[string]func() any{
+			"seed":  func() any { return *seed },
+			"scale": func() any { return *scale },
+			"out":   func() any { return *out },
+		})
+		if err != nil {
+			logger.Fatalf("debug endpoint: %v", err)
+		}
+		defer srv.Close()
+		logger.Infof("debug endpoint on http://%s/debug/vars", srv.Addr())
+	}
 
 	world := satcell.NewWorld(*seed)
-	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale, Workers: *workers})
+	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale, Workers: *workers, Metrics: reg})
 
 	stats, err := store.ExportDataset(*out, ds, store.ExportOptions{
-		Seed:   *seed,
-		Scale:  *scale,
-		Resume: *resume,
+		Seed:    *seed,
+		Scale:   *scale,
+		Resume:  *resume,
+		Metrics: reg,
 	})
 	if err != nil {
-		log.Fatalf("drivegen: %v (rerun with -resume to continue from the last durable shard)", err)
+		logger.Fatalf("%v (rerun with -resume to continue from the last durable shard)", err)
 	}
-	fmt.Printf("drivegen: %d drives, %d tests, %.0f km, %.0f trace-minutes -> %s (%d shards written, %d reused)\n",
+	logger.Infof("%d drives, %d tests, %.0f km, %.0f trace-minutes -> %s (%d shards written, %d reused)",
 		len(ds.Drives), len(ds.Tests), ds.TotalKm, ds.TotalTestMin, *out,
 		stats.Written, stats.Reused)
 }

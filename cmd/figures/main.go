@@ -15,12 +15,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"satcell"
+	"satcell/internal/obs"
 	"satcell/internal/store"
 )
+
+var logger = obs.NewLogger("figures")
 
 func main() {
 	var (
@@ -44,7 +46,7 @@ func main() {
 	if *only != "" {
 		f := world.Figure(ds, *only, opts)
 		if f == nil {
-			log.Fatalf("figures: unknown figure %q", *only)
+			logger.Fatalf("unknown figure %q", *only)
 		}
 		if *outDir != "" {
 			writeArtifacts(*outDir, *seed, *scale, map[string]*satcell.Figure{*only: f})
@@ -80,7 +82,7 @@ func writeArtifacts(dir string, seed int64, scale float64, figs map[string]*satc
 		files[id+".csv"] = f.CSV()
 	}
 	if err := store.ExportFigures(dir, seed, scale, files); err != nil {
-		log.Fatalf("figures: %v", err)
+		logger.Fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "figures: wrote %d figure CSVs -> %s\n", len(files), dir)
+	logger.Infof("wrote %d figure CSVs -> %s", len(files), dir)
 }

@@ -12,14 +12,17 @@
 // with -faults (see internal/faults.ParseSpec for the grammar):
 //
 //	mpshell -target :5201 -faults 'blackout@5s+800ms;auto=4/60s;corrupt=0.001' -faultseed 7
+//
+// While shaping, -debug-addr serves live introspection — metrics
+// (/debug/vars), the event ring (/debug/events), pprof
+// (/debug/pprof/) and health (/debug/health) — and -events-out saves
+// the event trace as JSONL on shutdown, renderable with
+// satcell-analyze -events.
 package main
 
 import (
 	"context"
 	"flag"
-	"fmt"
-	"io"
-	"log"
 	"os"
 	"os/signal"
 	"sync"
@@ -27,51 +30,72 @@ import (
 
 	"satcell/internal/faults"
 	"satcell/internal/netem"
+	"satcell/internal/obs"
 	"satcell/internal/trace"
 )
 
+// shapedRelay is what mpshell needs from either relay flavour: the
+// lifecycle, observability attachment and the shutdown-summary totals.
+type shapedRelay interface {
+	Close() error
+	Instrument(reg *obs.Registry, tr *obs.Tracer)
+	Counters() netem.Counters
+}
+
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:6000", "client-facing address")
-		target  = flag.String("target", "", "server address to forward to (required)")
-		proto   = flag.String("proto", "udp", "relay protocol: udp or tcp")
-		tracePt = flag.String("trace", "", "channel trace CSV to replay (satcell format)")
-		rate    = flag.Float64("rate", 100, "constant capacity in Mbps (when no trace)")
-		delay   = flag.Duration("delay", 20*time.Millisecond, "constant one-way delay (when no trace)")
-		loss    = flag.Float64("loss", 0, "constant datagram loss probability (when no trace)")
-		seed    = flag.Int64("seed", 1, "loss RNG seed")
-		faultsF = flag.String("faults", "", "fault scenario spec (e.g. 'blackout@5s+800ms;auto=4/60s;corrupt=0.001')")
-		fseed   = flag.Int64("faultseed", 1, "fault schedule seed (replays bit-identically)")
+		listen    = flag.String("listen", "127.0.0.1:6000", "client-facing address")
+		target    = flag.String("target", "", "server address to forward to (required)")
+		proto     = flag.String("proto", "udp", "relay protocol: udp or tcp")
+		tracePt   = flag.String("trace", "", "channel trace CSV to replay (satcell format)")
+		rate      = flag.Float64("rate", 100, "constant capacity in Mbps (when no trace)")
+		delay     = flag.Duration("delay", 20*time.Millisecond, "constant one-way delay (when no trace)")
+		loss      = flag.Float64("loss", 0, "constant datagram loss probability (when no trace)")
+		seed      = flag.Int64("seed", 1, "loss RNG seed")
+		faultsF   = flag.String("faults", "", "fault scenario spec (e.g. 'blackout@5s+800ms;auto=4/60s;corrupt=0.001')")
+		fseed     = flag.Int64("faultseed", 1, "fault schedule seed (replays bit-identically)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/events, /debug/pprof/ and /debug/health on this address")
+		eventsOut = flag.String("events-out", "", "write the event trace as JSONL to this file on shutdown")
 	)
 	flag.Parse()
+	logger := obs.NewLogger("mpshell")
 	if *target == "" {
-		log.Fatal("mpshell: -target is required")
+		logger.Fatalf("-target is required")
 	}
 
+	// The registry and tracer live for the whole process: supervised
+	// restarts re-instrument the replacement relay on the same series,
+	// so counters accumulate across kill/restore cycles.
+	reg := obs.NewRegistry()
+	events := obs.NewTracer(0)
+
 	var gate *faults.Injector
+	var schedDigest string
 	if *faultsF != "" {
 		sched, err := faults.ParseSpec(*faultsF, *fseed)
 		if err != nil {
-			log.Fatalf("mpshell: %v", err)
+			logger.Fatalf("%v", err)
 		}
 		gate = faults.NewInjector(sched)
-		fmt.Printf("mpshell: %s digest=%s\n", sched.String(), sched.Digest()[:12])
+		gate.Instrument(reg, events)
+		schedDigest = sched.Digest()[:12]
+		logger.Infof("%s digest=%s", sched.String(), schedDigest)
 	}
 
 	var up, down netem.Shape
 	if *tracePt != "" {
 		f, err := os.Open(*tracePt)
 		if err != nil {
-			log.Fatalf("mpshell: %v", err)
+			logger.Fatalf("%v", err)
 		}
 		tr, err := trace.ReadCSV(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("mpshell: read trace: %v", err)
+			logger.Fatalf("read trace: %v", err)
 		}
 		down = netem.FromTrace(tr, false)
 		up = netem.FromTrace(tr, true)
-		fmt.Printf("mpshell: replaying %s trace (%d samples, %s)\n",
+		logger.Infof("replaying %s trace (%d samples, %s)",
 			tr.Network, len(tr.Samples), tr.Duration())
 	} else {
 		down = netem.ConstantShape(*rate, *delay, *loss)
@@ -82,9 +106,10 @@ func main() {
 	defer stop()
 
 	// The relay is created through a closure so the fault schedule's
-	// restart windows can kill it and bring it back on the same port.
+	// restart windows can kill it and bring it back on the same port;
+	// each incarnation is instrumented on the shared registry.
 	var (
-		start func(addr string) (io.Closer, string, error)
+		start func(addr string) (shapedRelay, string, error)
 		fgate netem.FaultGate
 	)
 	if gate != nil {
@@ -92,30 +117,51 @@ func main() {
 	}
 	switch *proto {
 	case "udp":
-		start = func(addr string) (io.Closer, string, error) {
+		start = func(addr string) (shapedRelay, string, error) {
 			r, err := netem.NewUDPRelayFaulty(addr, *target, up, down, *seed, fgate)
 			if err != nil {
 				return nil, "", err
 			}
+			r.Instrument(reg, events)
 			return r, r.Addr().String(), nil
 		}
 	case "tcp":
-		start = func(addr string) (io.Closer, string, error) {
+		start = func(addr string) (shapedRelay, string, error) {
 			r, err := netem.NewTCPRelayFaulty(addr, *target, up, down, fgate)
 			if err != nil {
 				return nil, "", err
 			}
+			r.Instrument(reg, events)
 			return r, r.Addr().String(), nil
 		}
 	default:
-		log.Fatalf("mpshell: unknown proto %q", *proto)
+		logger.Fatalf("unknown proto %q", *proto)
 	}
 
 	relay, addr, err := start(*listen)
 	if err != nil {
-		log.Fatalf("mpshell: %v", err)
+		logger.Fatalf("%v", err)
 	}
-	fmt.Printf("mpshell: %s %s -> %s\n", *proto, addr, *target)
+	logger.Infof("%s %s -> %s", *proto, addr, *target)
+
+	startedAt := time.Now()
+	if *debugAddr != "" {
+		health := map[string]func() any{
+			"proto":      func() any { return *proto },
+			"listen":     func() any { return addr },
+			"target":     func() any { return *target },
+			"uptime_sec": func() any { return time.Since(startedAt).Seconds() },
+		}
+		if schedDigest != "" {
+			health["fault_digest"] = func() any { return schedDigest }
+		}
+		srv, err := obs.ServeDebug(*debugAddr, reg, events, health)
+		if err != nil {
+			logger.Fatalf("debug endpoint: %v", err)
+		}
+		defer srv.Close()
+		logger.Infof("debug endpoint on http://%s/debug/vars", srv.Addr())
+	}
 
 	var mu sync.Mutex
 	if gate != nil && len(gate.Schedule().Restarts) > 0 {
@@ -124,18 +170,18 @@ func main() {
 				mu.Lock()
 				relay.Close()
 				mu.Unlock()
-				fmt.Println("mpshell: relay killed (restart window)")
+				logger.Warnf("relay killed (restart window)")
 			},
 			func() {
 				r2, _, err := start(addr)
 				if err != nil {
-					fmt.Printf("mpshell: relay restart failed: %v\n", err)
+					logger.Errorf("relay restart failed: %v", err)
 					return
 				}
 				mu.Lock()
 				relay = r2
 				mu.Unlock()
-				fmt.Println("mpshell: relay restored")
+				logger.Infof("relay restored")
 			})
 		defer sup.Stop()
 	}
@@ -143,10 +189,33 @@ func main() {
 	<-ctx.Done()
 	mu.Lock()
 	relay.Close()
+	c := relay.Counters()
 	mu.Unlock()
+
+	// Structured shutdown summary: what actually moved through the
+	// shaped link, per direction, plus what the fault scenario did.
+	logger.Infof("shutdown summary: uptime=%s sessions=%d "+
+		"up_bytes=%d up_pkts=%d up_drops=%d down_bytes=%d down_pkts=%d down_drops=%d",
+		time.Since(startedAt).Round(time.Millisecond), c.Sessions,
+		c.UpBytes, c.UpPkts, c.UpDrops, c.DownBytes, c.DownPkts, c.DownDrops)
 	if gate != nil {
 		st := gate.Stats()
-		fmt.Printf("mpshell: faults applied: %d blackout drops, %d corrupted, %d truncated, %d dials refused\n",
+		logger.Infof("faults applied: blackout_drops=%d corrupted=%d truncated=%d dials_refused=%d",
 			st.BlackoutDrops, st.Corrupted, st.Truncated, st.DialsRefused)
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			logger.Fatalf("events: %v", err)
+		}
+		if err := events.WriteJSONL(f); err != nil {
+			f.Close()
+			logger.Fatalf("events: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			logger.Fatalf("events: %v", err)
+		}
+		logger.Infof("event trace: %d events -> %s (%d overwritten by ring wrap)",
+			events.Total()-events.Dropped(), *eventsOut, events.Dropped())
 	}
 }

@@ -10,23 +10,30 @@
 // checksums, torn renames, schema, row counts, timestamp monotonicity —
 // and exits non-zero on any finding.
 //
+// The -events mode renders a JSONL event trace exported by a live run
+// (mpshell -events-out) as a per-second timeline: relay traffic,
+// scheduled fault windows, session markers.
+//
 //	drivegen -scale 0.1 -out data
 //	satcell-analyze -tests data/tests.csv
 //	satcell-analyze -fsck data
+//	satcell-analyze -events run.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"satcell/internal/core"
 	"satcell/internal/dataset"
+	"satcell/internal/obs"
 	"satcell/internal/report"
 	"satcell/internal/stats"
 	"satcell/internal/store"
 )
+
+var logger = obs.NewLogger("satcell-analyze")
 
 func main() {
 	var (
@@ -34,11 +41,16 @@ func main() {
 		kind   = flag.String("kind", "udp-down", "test kind to analyse")
 		strict = flag.Bool("strict", false, "abort on the first malformed row instead of skip-and-count")
 		fsck   = flag.String("fsck", "", "verify a dataset directory (manifest, checksums, schema, timestamps) and exit")
+		events = flag.String("events", "", "render a JSONL event trace (mpshell -events-out) as a timeline and exit")
 	)
 	flag.Parse()
 
 	if *fsck != "" {
 		runFsck(*fsck)
+		return
+	}
+	if *events != "" {
+		runEvents(*events)
 		return
 	}
 
@@ -48,7 +60,7 @@ func main() {
 	}
 	rows, rep, err := store.LoadTests(*path, mode)
 	if err != nil {
-		log.Fatalf("satcell-analyze: %v", err)
+		logger.Fatalf("%v", err)
 	}
 
 	// Data-health KPIs first: skipped rows and failed tests frame every
@@ -147,10 +159,27 @@ func main() {
 func runFsck(dir string) {
 	rep, err := store.Fsck(dir)
 	if err != nil {
-		log.Fatalf("satcell-analyze: fsck: %v", err)
+		logger.Fatalf("fsck: %v", err)
 	}
 	fmt.Print(rep)
 	if !rep.OK() {
 		os.Exit(1)
 	}
+}
+
+// runEvents renders an exported event trace as a timeline figure.
+func runEvents(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		logger.Fatalf("events: %v", err)
+	}
+	evs, err := obs.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		logger.Fatalf("events: %v", err)
+	}
+	if len(evs) == 0 {
+		logger.Fatalf("events: %s holds no events", path)
+	}
+	fmt.Print(obs.RenderTimeline(evs))
 }

@@ -12,13 +12,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"time"
 
 	"satcell/internal/meas/iperf"
+	"satcell/internal/obs"
 )
+
+var logger = obs.NewLogger("satcell-iperf")
 
 func main() {
 	var (
@@ -48,13 +50,13 @@ func main() {
 	}
 	res, err := iperf.Run(context.Background(), cfg)
 	if err != nil {
-		log.Fatalf("satcell-iperf: %v", err)
+		logger.Fatalf("%v", err)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 		return
 	}
@@ -73,7 +75,7 @@ func main() {
 func runServer(addr string) {
 	srv, err := iperf.NewServer(addr)
 	if err != nil {
-		log.Fatalf("satcell-iperf: %v", err)
+		logger.Fatalf("%v", err)
 	}
 	defer srv.Close()
 	fmt.Printf("satcell-iperf server listening on %s (tcp+udp)\n", srv.Addr())

@@ -10,7 +10,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"math/rand"
 	"os"
 	"time"
@@ -21,8 +20,11 @@ import (
 	"satcell/internal/leo"
 	"satcell/internal/meas/tracker"
 	"satcell/internal/mobility"
+	"satcell/internal/obs"
 	"satcell/internal/store"
 )
+
+var logger = obs.NewLogger("satcell-tracker")
 
 // driveProvider adapts a drive + channel model to tracker.Provider.
 type driveProvider struct {
@@ -68,7 +70,7 @@ func main() {
 
 	n, err := channel.ParseNetwork(*network)
 	if err != nil {
-		log.Fatalf("satcell-tracker: %v", err)
+		logger.Fatalf("%v", err)
 	}
 	r := pickRoute(*route)
 	gaz := geo.DefaultGazetteer()
@@ -81,7 +83,7 @@ func main() {
 		*dur = maxDur
 	}
 	if err := tr.SampleRange(*dur); err != nil {
-		log.Fatalf("satcell-tracker: %v", err)
+		logger.Fatalf("%v", err)
 	}
 
 	// File output goes through the crash-safe store: atomic rename plus
@@ -95,10 +97,9 @@ func main() {
 		err = tr.WriteJSONL(os.Stdout)
 	}
 	if err != nil {
-		log.Fatalf("satcell-tracker: %v", err)
+		logger.Fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "satcell-tracker: %d records (%s on %s)\n",
-		len(tr.Records()), n, r.Name)
+	logger.Infof("%d records (%s on %s)", len(tr.Records()), n, r.Name)
 }
 
 func pickRoute(name string) *mobility.Route {
@@ -115,7 +116,7 @@ func pickRoute(name string) *mobility.Route {
 	for i, r := range routes {
 		names[i] = r.Name
 	}
-	log.Fatalf("satcell-tracker: unknown route %q (have %v)", name, names)
+	logger.Fatalf("unknown route %q (have %v)", name, names)
 	return nil
 }
 

@@ -9,14 +9,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"time"
 
 	"satcell/internal/meas/udpping"
+	"satcell/internal/obs"
 	"satcell/internal/stats"
 )
+
+var logger = obs.NewLogger("satcell-udpping")
 
 func main() {
 	var (
@@ -31,7 +33,7 @@ func main() {
 	if *server {
 		srv, err := udpping.NewServer(*addr)
 		if err != nil {
-			log.Fatalf("satcell-udpping: %v", err)
+			logger.Fatalf("%v", err)
 		}
 		defer srv.Close()
 		fmt.Printf("satcell-udpping echo server on %s\n", srv.Addr())
@@ -45,7 +47,7 @@ func main() {
 		Addr: *addr, Count: *count, Interval: *interval, Timeout: *timeout,
 	})
 	if err != nil {
-		log.Fatalf("satcell-udpping: %v", err)
+		logger.Fatalf("%v", err)
 	}
 	for _, p := range res.Probes {
 		if p.Lost {

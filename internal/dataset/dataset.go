@@ -18,6 +18,7 @@ import (
 	"satcell/internal/geo"
 	"satcell/internal/leo"
 	"satcell/internal/mobility"
+	"satcell/internal/obs"
 	"satcell/internal/stats"
 )
 
@@ -210,6 +211,14 @@ type Config struct {
 	// tests; 0 (the default) uses runtime.GOMAXPROCS(0). The campaign
 	// is bit-identical for every worker count.
 	Workers int
+	// Metrics, when non-nil, exposes generation progress: campaign
+	// totals (dataset.drives_total / dataset.tests_total), live done
+	// counters, per-worker throughput (dataset.worker.NN.tests), and
+	// sampled dataset.tests_per_sec / dataset.eta_sec gauges — so a
+	// long full-scale run can be watched from the debug endpoint.
+	// Instrumentation never feeds back into generation: the campaign
+	// stays bit-identical with or without it.
+	Metrics *obs.Registry
 }
 
 // Paper-scale targets (§3.3).
@@ -250,9 +259,37 @@ func Generate(cfg Config) *Dataset {
 	ds := &Dataset{Seed: cfg.Seed}
 	drives, tests := planCampaign(cfg, routes, ds)
 
+	reg := cfg.Metrics
+	reg.Gauge("dataset.drives_total").Set(float64(len(drives)))
+	reg.Gauge("dataset.tests_total").Set(float64(len(tests)))
+	testsDone := reg.Counter("dataset.tests_done")
+	genStart := time.Now()
+	// Rate and ETA are sampled at scrape time from the done counter.
+	// After Generate returns the rate decays toward zero and the ETA
+	// pins at zero — the natural reading for a finished campaign.
+	reg.RegisterFunc("dataset.tests_per_sec", func() float64 {
+		el := time.Since(genStart).Seconds()
+		if el <= 0 {
+			return 0
+		}
+		return float64(testsDone.Value()) / el
+	})
+	reg.RegisterFunc("dataset.eta_sec", func() float64 {
+		done := testsDone.Value()
+		el := time.Since(genStart).Seconds()
+		if done <= 0 || el <= 0 {
+			return 0
+		}
+		remaining := float64(len(tests)) - float64(done)
+		if remaining <= 0 {
+			return 0
+		}
+		return remaining / (float64(done) / el)
+	})
+
 	cons := leo.NewConstellation(leo.StarlinkShell())
-	ds.Drives = executeDrives(drives, modelBuilders(cfg.Seed, cons), workers)
-	ds.Tests = executeTests(tests, ds.Drives, cfg.Seed, workers)
+	ds.Drives = executeDrives(drives, modelBuilders(cfg.Seed, cons), workers, reg)
+	ds.Tests = executeTests(tests, ds.Drives, cfg.Seed, workers, reg)
 	return ds
 }
 
@@ -337,12 +374,13 @@ func modelBuilders(seed int64, cons *leo.Constellation) map[channel.Network]chan
 
 // executeDrives samples every (drive, network) channel observation
 // sequence across the worker pool.
-func executeDrives(plans []drivePlan, builders map[channel.Network]channel.Builder, workers int) []Drive {
+func executeDrives(plans []drivePlan, builders map[channel.Network]channel.Builder, workers int, reg *obs.Registry) []Drive {
 	nets := channel.Networks
-	obs := make([][][]channel.Record, len(plans))
-	for i := range obs {
-		obs[i] = make([][]channel.Record, len(nets))
+	sampled := make([][][]channel.Record, len(plans))
+	for i := range sampled {
+		sampled[i] = make([][]channel.Record, len(nets))
 	}
+	unitsDone := reg.Counter("dataset.drive_units_done")
 	forEachIndex(workers, len(plans)*len(nets), func(k int) {
 		di, ni := k/len(nets), k%len(nets)
 		m := builders[nets[ni]]()
@@ -352,7 +390,8 @@ func executeDrives(plans []drivePlan, builders map[channel.Network]channel.Build
 			env := channel.Env{At: f.At, Pos: f.Pos, SpeedKmh: f.SpeedKmh, Area: f.Area}
 			recs[j] = channel.Record{Env: env, Sample: m.Sample(env)}
 		}
-		obs[di][ni] = recs
+		sampled[di][ni] = recs
+		unitsDone.Inc()
 	})
 	out := make([]Drive, len(plans))
 	for i, p := range plans {
@@ -361,7 +400,7 @@ func executeDrives(plans []drivePlan, builders map[channel.Network]channel.Build
 			Observed: make(map[channel.Network][]channel.Record, len(nets)),
 		}
 		for ni, n := range nets {
-			d.Observed[n] = obs[i][ni]
+			d.Observed[n] = sampled[i][ni]
 		}
 		out[i] = d
 	}
@@ -370,13 +409,21 @@ func executeDrives(plans []drivePlan, builders map[channel.Network]channel.Build
 
 // executeTests evaluates every planned test window across the worker
 // pool. Each test draws from its own derived RNG (seed ^ id), so the
-// evaluation order cannot change results.
-func executeTests(plans []testPlan, drives []Drive, seed int64, workers int) []Test {
+// evaluation order cannot change results. Per-worker counters show how
+// the pool's work balanced; they label worker slots, never steer them.
+func executeTests(plans []testPlan, drives []Drive, seed int64, workers int, reg *obs.Registry) []Test {
 	out := make([]Test, len(plans))
-	forEachIndex(workers, len(plans), func(i int) {
+	done := reg.Counter("dataset.tests_done")
+	perWorker := make([]*obs.Counter, workers)
+	for w := range perWorker {
+		perWorker[w] = reg.Counter(fmt.Sprintf("dataset.worker.%02d.tests", w))
+	}
+	forEachIndexWorker(workers, len(plans), func(w, i int) {
 		p := plans[i]
 		trng := rand.New(rand.NewSource(seed ^ int64(p.id+1)*0x9E3779B9))
 		out[i] = buildTest(p.id, p.net, p.kind, drives[p.drive], p.start, p.dur, trng)
+		done.Inc()
+		perWorker[w].Inc()
 	})
 	return out
 }

@@ -12,6 +12,15 @@ import (
 // inputs and write state owned by index i. With workers <= 1 the call
 // degenerates to a plain serial loop on the calling goroutine.
 func forEachIndex(workers, n int, fn func(int)) {
+	forEachIndexWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// forEachIndexWorker is forEachIndex with the worker slot id (0-based,
+// stable for the goroutine's lifetime) passed alongside each index, so
+// callers can keep per-worker accounting without any shared state. The
+// slot id must not influence the work itself — determinism still
+// requires fn's output to depend only on i.
+func forEachIndexWorker(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -20,7 +29,7 @@ func forEachIndex(workers, n int, fn func(int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -28,16 +37,16 @@ func forEachIndex(workers, n int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

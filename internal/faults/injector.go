@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"satcell/internal/obs"
 )
 
 // Stats counts what an Injector did to live traffic.
@@ -62,6 +64,47 @@ func (in *Injector) Stats() Stats {
 		Corrupted:     in.corrupted.Load(),
 		Truncated:     in.truncated.Load(),
 		DialsRefused:  in.dialsRefused.Load(),
+	}
+}
+
+// Instrument exposes the injector's live fault counters on reg
+// (injections by kind, plus which window kinds are active right now,
+// sampled at scrape time) and pins the schedule's fault windows into tr
+// as fault-open/fault-close events at their scheduled offsets. The
+// windows are deterministic — known before any traffic flows — so they
+// are pinned up front rather than detected from the packet path: an
+// exported trace always carries the full scenario script, and the
+// timeline renderer can cross-check observed drops against it. Either
+// argument may be nil; a nil injector is a no-op.
+func (in *Injector) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	if in == nil {
+		return
+	}
+	reg.RegisterFunc("faults.blackout_drops", func() float64 { return float64(in.blackoutDrops.Load()) })
+	reg.RegisterFunc("faults.corrupted", func() float64 { return float64(in.corrupted.Load()) })
+	reg.RegisterFunc("faults.truncated", func() float64 { return float64(in.truncated.Load()) })
+	reg.RegisterFunc("faults.dials_refused", func() float64 { return float64(in.dialsRefused.Load()) })
+	reg.RegisterFunc("faults.blackout_active", func() float64 {
+		if in.sched.BlackoutAt(in.Elapsed()) {
+			return 1
+		}
+		return 0
+	})
+	reg.RegisterFunc("faults.dialfail_active", func() float64 {
+		if in.sched.DialFailAt(in.Elapsed()) {
+			return 1
+		}
+		return 0
+	})
+	for kind, windows := range map[string][]Window{
+		"blackout":  in.sched.Blackouts,
+		"restart":   in.sched.Restarts,
+		"dial-fail": in.sched.DialFails,
+	} {
+		for _, w := range windows {
+			tr.PinSpan(w.Start, obs.EvFaultOpen, "faults", kind)
+			tr.PinSpan(w.End(), obs.EvFaultClose, "faults", kind)
+		}
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"satcell/internal/obs"
 )
 
 // ClientConfig describes one test run.
@@ -31,6 +33,15 @@ type ClientConfig struct {
 	RetryBackoff time.Duration
 	// Seed derives the retry jitter (deterministic per stream).
 	Seed int64
+
+	// Metrics, when non-nil, receives live progress: iperf.bytes (bytes
+	// moved so far), iperf.dial_retries, iperf.write_errors, and the
+	// iperf.interval_mbps histogram of per-second throughput. Handles
+	// are get-or-create, so repeated tests on one registry accumulate.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives session-start/session-end events
+	// for each test run, keyed by elapsed time since Run began.
+	Events *obs.Tracer
 }
 
 func (c *ClientConfig) defaults() {
@@ -63,6 +74,10 @@ func (c *ClientConfig) defaults() {
 // every dial/stream failed outright).
 func Run(ctx context.Context, cfg ClientConfig) (*Result, error) {
 	cfg.defaults()
+	start := time.Now()
+	detail := string(cfg.Proto) + "/" + string(cfg.Dir)
+	cfg.Events.Span(0, obs.EvSessionStart, "iperf", detail)
+	defer func() { cfg.Events.Span(time.Since(start), obs.EvSessionEnd, "iperf", detail) }()
 	switch cfg.Proto {
 	case TCP:
 		return runTCP(ctx, cfg)
@@ -81,8 +96,10 @@ func dialRetry(ctx context.Context, cfg ClientConfig, network string, id int) (n
 	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(id+1)*0x9E3779B9))
 	backoff := cfg.RetryBackoff
 	var lastErr error
+	retries := cfg.Metrics.Counter("iperf.dial_retries")
 	for attempt := 0; attempt <= cfg.DialRetries; attempt++ {
 		if attempt > 0 {
+			retries.Inc()
 			sleep := time.Duration(float64(backoff) * (0.5 + rng.Float64()))
 			backoff *= 2
 			t := time.NewTimer(sleep)
@@ -102,19 +119,31 @@ func dialRetry(ctx context.Context, cfg ClientConfig, network string, id int) (n
 	return nil, fmt.Errorf("iperf: dial (%d attempts): %w", cfg.DialRetries+1, lastErr)
 }
 
-// intervalCounter tracks progress reports across streams.
+// intervalCounter tracks progress reports across streams. When built
+// with a registry it also publishes live progress: iperf.bytes counts
+// every byte as it moves (so a scrape mid-test sees the transfer
+// advancing), and reports() folds each finished interval's throughput
+// into the iperf.interval_mbps histogram.
 type intervalCounter struct {
 	mu       sync.Mutex
 	start    time.Time
 	interval time.Duration
 	buckets  []int64
+	progress *obs.Counter
+	rate     *obs.Histogram
 }
 
-func newIntervalCounter(interval time.Duration) *intervalCounter {
-	return &intervalCounter{start: time.Now(), interval: interval}
+func newIntervalCounter(interval time.Duration, reg *obs.Registry) *intervalCounter {
+	return &intervalCounter{
+		start:    time.Now(),
+		interval: interval,
+		progress: reg.Counter("iperf.bytes"),
+		rate:     reg.Histogram("iperf.interval_mbps", obs.MbpsBuckets),
+	}
 }
 
 func (ic *intervalCounter) add(n int64) {
+	ic.progress.Add(n)
 	ic.mu.Lock()
 	idx := int(time.Since(ic.start) / ic.interval)
 	for len(ic.buckets) <= idx {
@@ -124,6 +153,10 @@ func (ic *intervalCounter) add(n int64) {
 	ic.mu.Unlock()
 }
 
+// reports builds the per-interval summary. It is called once, at the
+// end of a run; that is also when the interval throughputs land in the
+// histogram (a mid-run interval isn't complete, so it can't be observed
+// yet without skewing the distribution low).
 func (ic *intervalCounter) reports() []IntervalReport {
 	ic.mu.Lock()
 	defer ic.mu.Unlock()
@@ -134,6 +167,7 @@ func (ic *intervalCounter) reports() []IntervalReport {
 			Bytes: b,
 			Mbps:  float64(b*8) / ic.interval.Seconds() / 1e6,
 		}
+		ic.rate.Observe(out[i].Mbps)
 	}
 	return out
 }
@@ -144,7 +178,7 @@ func (ic *intervalCounter) reports() []IntervalReport {
 // every stream fails does the test error.
 func runTCP(ctx context.Context, cfg ClientConfig) (*Result, error) {
 	res := &Result{Proto: TCP, Dir: cfg.Dir, Parallel: cfg.Parallel}
-	ic := newIntervalCounter(cfg.Interval)
+	ic := newIntervalCounter(cfg.Interval, cfg.Metrics)
 	type streamOut struct {
 		sr  StreamResult
 		err error
@@ -296,7 +330,7 @@ func runUDP(ctx context.Context, cfg ClientConfig) (*Result, error) {
 	}
 	defer conn.Close()
 	testID := rand.Uint32()
-	ic := newIntervalCounter(cfg.Interval)
+	ic := newIntervalCounter(cfg.Interval, cfg.Metrics)
 
 	res := &Result{Proto: UDP, Dir: cfg.Dir, Parallel: 1}
 	switch cfg.Dir {
@@ -322,6 +356,7 @@ func runUDPUpload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, test
 	next := time.Now()
 	var seq uint64
 	writeErrs := 0
+	werrCounter := cfg.Metrics.Counter("iperf.write_errors")
 	for time.Now().Before(deadline) && ctx.Err() == nil {
 		marshalHeader(udpHeader{
 			Magic: udpMagic, Type: udpTypeData, TestID: testID,
@@ -333,6 +368,7 @@ func runUDPUpload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, test
 			// (ICMP unreachable after a relay/server kill). Keep
 			// pacing: the link may come back inside the test window.
 			writeErrs++
+			werrCounter.Inc()
 			ic.add(0)
 		} else {
 			ic.add(int64(len(buf)))

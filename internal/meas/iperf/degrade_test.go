@@ -145,7 +145,7 @@ func TestDialRetryReconnects(t *testing.T) {
 	}()
 	res, err := Run(context.Background(), ClientConfig{
 		Addr: addr, Proto: TCP, Dir: Download,
-		Duration: 500 * time.Millisecond,
+		Duration:    500 * time.Millisecond,
 		DialRetries: 8, RetryBackoff: 100 * time.Millisecond, Seed: 4,
 	})
 	if err != nil {

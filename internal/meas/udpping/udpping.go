@@ -12,6 +12,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"satcell/internal/obs"
 )
 
 // PayloadSize matches the paper: 1024 bytes per probe.
@@ -122,6 +124,11 @@ type Config struct {
 	Count    int           // probes to send; default 10
 	Interval time.Duration // default 200 ms
 	Timeout  time.Duration // per-probe timeout; default 2 s
+
+	// Metrics, when non-nil, receives live per-probe progress:
+	// udpping.sent, udpping.received and udpping.write_errors counters,
+	// plus the udpping.rtt_ms histogram of answered probes.
+	Metrics *obs.Registry
 }
 
 // Run performs a ping run. Probes are sent at the configured interval;
@@ -185,6 +192,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	binary.BigEndian.PutUint16(payload, magic)
 	sent := 0
 	writeErrs := 0
+	sentCtr := cfg.Metrics.Counter("udpping.sent")
+	werrCtr := cfg.Metrics.Counter("udpping.write_errors")
 	for seq := 0; seq < cfg.Count && ctx.Err() == nil; seq++ {
 		binary.BigEndian.PutUint64(payload[4:], uint64(seq))
 		binary.BigEndian.PutUint64(payload[12:], uint64(time.Now().UnixNano()))
@@ -194,8 +203,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			// The probe is simply lost; keep probing — the link may
 			// come back mid-run, exactly like a drive-test outage.
 			writeErrs++
+			werrCtr.Inc()
 		}
 		sent++
+		sentCtr.Inc()
 		if seq < cfg.Count-1 {
 			select {
 			case <-time.After(cfg.Interval):
@@ -206,6 +217,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	// Collect replies until the trailing timeout (or cancellation).
 	rtts := make(map[uint64]time.Duration, sent)
+	recvCtr := cfg.Metrics.Counter("udpping.received")
+	rttHist := cfg.Metrics.Histogram("udpping.rtt_ms", obs.RTTMsBuckets)
 	deadline := time.After(cfg.Timeout)
 collect:
 	for len(rtts) < sent {
@@ -213,6 +226,8 @@ collect:
 		case e := <-echoes:
 			if _, dup := rtts[e.seq]; !dup && e.seq < uint64(sent) {
 				rtts[e.seq] = e.rtt
+				recvCtr.Inc()
+				rttHist.Observe(e.rtt.Seconds() * 1000)
 			}
 		case <-deadline:
 			break collect

@@ -158,6 +158,19 @@ func (p *pacer) admit(size int) (deliverAt time.Time, drop bool) {
 	return p.nextTx.Add(p.shape.Delay(elapsed)), false
 }
 
+// backlog returns the pacer's current serialization backlog: how far
+// ahead of now the virtual queue's next transmission slot sits. Zero
+// means the queue is empty. This is the relay's observable queue
+// occupancy (Mahimahi's droptail buffer fill, in time units).
+func (p *pacer) backlog() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d := time.Until(p.nextTx); d > 0 {
+		return d
+	}
+	return 0
+}
+
 // admitStream paces size bytes without loss or droptail: byte streams
 // get backpressure (the caller sleeps until deliverAt) instead of drops.
 func (p *pacer) admitStream(size int) (deliverAt time.Time) {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -60,6 +61,14 @@ func (tr *timerRegistry) after(d time.Duration, fn func()) {
 	})
 }
 
+// depth returns the number of pending delivery timers — the relay's
+// in-flight packet population, exposed as a sampled gauge.
+func (tr *timerRegistry) depth() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.timers)
+}
+
 // stopAll cancels every pending timer and refuses new ones.
 func (tr *timerRegistry) stopAll() {
 	tr.mu.Lock()
@@ -83,6 +92,7 @@ type UDPRelay struct {
 	gate     FaultGate
 	start    time.Time
 	timers   timerRegistry
+	obs      atomic.Pointer[relayObs]
 
 	mu      sync.Mutex
 	clients map[string]*clientSession
@@ -165,15 +175,21 @@ func (r *UDPRelay) clientLoop() {
 			return
 		}
 		elapsed := time.Since(r.start)
+		o := r.obs.Load()
+		o.in(elapsed, "up", n)
 		if r.gate != nil && r.gate.LinkDown(elapsed) {
+			o.drop(elapsed, "up", n, "blackout")
 			continue // blackout: the datagram vanishes
 		}
 		cs := r.session(from, elapsed)
 		if cs == nil {
+			o.drop(elapsed, "up", n, "refused")
 			continue
 		}
 		deliverAt, drop := r.toServer.admit(n)
+		o.observeQueue(r.toServer)
 		if drop {
+			o.drop(elapsed, "up", n, "shaper")
 			continue
 		}
 		pkt := make([]byte, n)
@@ -181,10 +197,14 @@ func (r *UDPRelay) clientLoop() {
 		if r.gate != nil {
 			var gone bool
 			if pkt, gone = r.gate.Datagram(elapsed, pkt); gone {
+				o.drop(elapsed, "up", n, "gate")
 				continue
 			}
 		}
-		r.deliverLater(deliverAt, func() { cs.server.Write(pkt) })
+		r.deliverLater(deliverAt, func() {
+			cs.server.Write(pkt)
+			r.obs.Load().delivered(time.Since(r.start), "up", n)
+		})
 	}
 }
 
@@ -197,14 +217,17 @@ func (r *UDPRelay) session(from *net.UDPAddr, elapsed time.Duration) *clientSess
 		return cs
 	}
 	if r.gate != nil && r.gate.DialFails(elapsed) {
+		r.obs.Load().refusedSession(elapsed, key)
 		return nil // new sessions refused; the client's datagram is lost
 	}
 	server, err := net.DialUDP("udp", nil, r.target)
 	if err != nil {
+		r.obs.Load().refusedSession(elapsed, key)
 		return nil
 	}
 	cs := &clientSession{addr: from, server: server}
 	r.clients[key] = cs
+	r.obs.Load().sessionStart(elapsed, key)
 	r.wg.Add(1)
 	go r.serverLoop(cs)
 	return cs
@@ -212,6 +235,7 @@ func (r *UDPRelay) session(from *net.UDPAddr, elapsed time.Duration) *clientSess
 
 func (r *UDPRelay) serverLoop(cs *clientSession) {
 	defer r.wg.Done()
+	defer func() { r.obs.Load().sessionEnd(time.Since(r.start), cs.addr.String()) }()
 	buf := make([]byte, 64<<10)
 	for {
 		n, err := cs.server.Read(buf)
@@ -219,11 +243,16 @@ func (r *UDPRelay) serverLoop(cs *clientSession) {
 			return
 		}
 		elapsed := time.Since(r.start)
+		o := r.obs.Load()
+		o.in(elapsed, "down", n)
 		if r.gate != nil && r.gate.LinkDown(elapsed) {
+			o.drop(elapsed, "down", n, "blackout")
 			continue
 		}
 		deliverAt, drop := r.toClient.admit(n)
+		o.observeQueue(r.toClient)
 		if drop {
+			o.drop(elapsed, "down", n, "shaper")
 			continue
 		}
 		pkt := make([]byte, n)
@@ -231,12 +260,14 @@ func (r *UDPRelay) serverLoop(cs *clientSession) {
 		if r.gate != nil {
 			var gone bool
 			if pkt, gone = r.gate.Datagram(elapsed, pkt); gone {
+				o.drop(elapsed, "down", n, "gate")
 				continue
 			}
 		}
 		addr := cs.addr
 		r.deliverLater(deliverAt, func() {
 			r.conn.WriteToUDP(pkt, addr)
+			r.obs.Load().delivered(time.Since(r.start), "down", n)
 		})
 	}
 }
@@ -264,6 +295,7 @@ type TCPRelay struct {
 	down   Shape
 	gate   FaultGate
 	start  time.Time
+	obs    atomic.Pointer[relayObs]
 	closed chan struct{}
 	wg     sync.WaitGroup
 }
@@ -313,18 +345,28 @@ func (r *TCPRelay) acceptLoop() {
 		if err != nil {
 			return
 		}
+		peer := c.RemoteAddr().String()
 		if r.gate != nil && r.gate.DialFails(time.Since(r.start)) {
+			r.obs.Load().refusedSession(time.Since(r.start), peer)
 			c.Close() // connection refused by the scenario
 			continue
 		}
 		upstream, err := net.Dial("tcp", r.target)
 		if err != nil {
+			r.obs.Load().refusedSession(time.Since(r.start), peer)
 			c.Close()
 			continue
 		}
+		r.obs.Load().sessionStart(time.Since(r.start), peer)
+		var endOnce sync.Once
+		end := func() {
+			endOnce.Do(func() {
+				r.obs.Load().sessionEnd(time.Since(r.start), peer)
+			})
+		}
 		r.wg.Add(2)
-		go r.pump(c, upstream, r.up)
-		go r.pump(upstream, c, r.down)
+		go r.pump(c, upstream, r.up, "up", end)
+		go r.pump(upstream, c, r.down, "down", end)
 	}
 }
 
@@ -332,10 +374,13 @@ func (r *TCPRelay) acceptLoop() {
 const pacedChunk = 8 * 1024
 
 // pump copies src to dst with shaped pacing until either side closes.
-func (r *TCPRelay) pump(src, dst net.Conn, shape Shape) {
+// dir labels the direction ("up" = client to server) for accounting;
+// end fires once when the connection's first pump exits.
+func (r *TCPRelay) pump(src, dst net.Conn, shape Shape, dir string, end func()) {
 	defer r.wg.Done()
 	defer src.Close()
 	defer dst.Close()
+	defer end()
 	p := newPacer(Shape{RateMbps: shape.RateMbps, Delay: shape.Delay}, 1)
 	buf := make([]byte, pacedChunk)
 	for {
@@ -346,7 +391,11 @@ func (r *TCPRelay) pump(src, dst net.Conn, shape Shape) {
 		}
 		n, err := src.Read(buf)
 		if n > 0 {
+			elapsed := time.Since(r.start)
+			o := r.obs.Load()
+			o.in(elapsed, dir, n)
 			deliverAt := p.admitStream(n)
+			o.observeQueue(p)
 			if d := time.Until(deliverAt); d > 0 {
 				select {
 				case <-time.After(d):
@@ -367,6 +416,7 @@ func (r *TCPRelay) pump(src, dst net.Conn, shape Shape) {
 			if _, werr := dst.Write(buf[:n]); werr != nil {
 				return
 			}
+			o.delivered(time.Since(r.start), dir, n)
 		}
 		if err != nil {
 			if !errors.Is(err, io.EOF) {

@@ -1,0 +1,345 @@
+package netem
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"satcell/internal/obs"
+)
+
+// dirTotals reads one direction's counters from the registry.
+func dirTotals(reg *obs.Registry, prefix string) (in, out, drop int64) {
+	return reg.Counter(prefix + ".in_bytes").Value(),
+		reg.Counter(prefix + ".out_bytes").Value(),
+		reg.Counter(prefix + ".drop_bytes").Value()
+}
+
+// waitInvariant polls until in_bytes == out_bytes + drop_bytes for the
+// given direction (in-flight paced deliveries are the only legitimate
+// transient difference) or the deadline passes.
+func waitInvariant(t *testing.T, reg *obs.Registry, prefix string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		in, out, drop := dirTotals(reg, prefix)
+		if in == out+drop {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: in_bytes=%d != out_bytes=%d + drop_bytes=%d (in flight never drained)",
+				prefix, in, out, drop)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestUDPRelayCountersInvariant pushes traffic from several concurrent
+// client sessions through a lossy instrumented relay and asserts the
+// per-direction conservation invariant: every byte that entered the
+// relay was either delivered or accounted to a drop cause. Run under
+// -race this also exercises the counter and tracer paths from the
+// client loop, the per-session server loops and the delivery timers at
+// once.
+func TestUDPRelayCountersInvariant(t *testing.T) {
+	server := echoUDPServer(t)
+	defer server.Close()
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(4096)
+	// 30% loss forces the shaper drop path; 5ms delay keeps deliveries
+	// in flight while counters are being bumped.
+	relay, err := NewUDPRelay("127.0.0.1:0", server.LocalAddr().String(),
+		ConstantShape(200, 5*time.Millisecond, 0.3),
+		ConstantShape(200, 5*time.Millisecond, 0.3), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	relay.Instrument(reg, tr)
+
+	const clients, perClient, pktSize = 6, 50, 512
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.DialUDP("udp", nil, relay.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			pkt := make([]byte, pktSize)
+			buf := make([]byte, 2048)
+			for i := 0; i < perClient; i++ {
+				conn.Write(pkt)
+				// Drain echoes opportunistically so the downlink flows.
+				conn.SetReadDeadline(time.Now().Add(2 * time.Millisecond))
+				conn.Read(buf)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// All uplink ingress must eventually be accounted.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		in, _, _ := dirTotals(reg, "relay.udp.up")
+		if in == clients*perClient*pktSize || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	in, _, _ := dirTotals(reg, "relay.udp.up")
+	if want := int64(clients * perClient * pktSize); in != want {
+		t.Fatalf("up.in_bytes = %d, want %d (relay lost ingress accounting)", in, want)
+	}
+	waitInvariant(t, reg, "relay.udp.up")
+	waitInvariant(t, reg, "relay.udp.down")
+
+	// With 30% loss the shaper must have dropped something, and the
+	// drops must be visible both in counters and in the event ring.
+	_, _, drop := dirTotals(reg, "relay.udp.up")
+	if drop == 0 {
+		t.Fatal("no drops recorded despite 30% loss")
+	}
+	if got := reg.Counter("relay.udp.sessions").Value(); got != clients {
+		t.Fatalf("sessions = %d, want %d", got, clients)
+	}
+	var drops, delivers, starts int
+	for _, ev := range tr.Snapshot() {
+		switch ev.Kind {
+		case obs.EvDrop:
+			drops++
+		case obs.EvDeliver:
+			delivers++
+		case obs.EvSessionStart:
+			starts++
+		}
+	}
+	if drops == 0 || delivers == 0 {
+		t.Fatalf("event ring: drops=%d delivers=%d, want both > 0", drops, delivers)
+	}
+	if starts != clients {
+		t.Fatalf("event ring: session starts = %d, want %d", starts, clients)
+	}
+
+	// The sampled gauges answer through the registry snapshot.
+	snap := reg.Snapshot()
+	for _, k := range []string{"relay.udp.timers.pending", "relay.udp.clients",
+		"relay.udp.up.backlog_ms", "relay.udp.down.backlog_ms"} {
+		if _, ok := snap[k]; !ok {
+			t.Fatalf("snapshot missing sampled gauge %q", k)
+		}
+	}
+	if snap["relay.udp.clients"] != float64(clients) {
+		t.Fatalf("clients gauge = %v, want %d", snap["relay.udp.clients"], clients)
+	}
+}
+
+// TestUDPRelayUninstrumentedIsNoop checks the nil fast path: a relay
+// without Instrument reports zero counters and records nothing, and the
+// live path works unchanged.
+func TestUDPRelayUninstrumentedIsNoop(t *testing.T) {
+	server := echoUDPServer(t)
+	defer server.Close()
+	relay, err := NewUDPRelay("127.0.0.1:0", server.LocalAddr().String(),
+		ConstantShape(100, 0, 0), ConstantShape(100, 0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	conn, err := net.DialUDP("udp", nil, relay.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write(make([]byte, 128))
+	buf := make([]byte, 1024)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("echo through uninstrumented relay: %v", err)
+	}
+	if c := relay.Counters(); c != (Counters{}) {
+		t.Fatalf("uninstrumented counters = %+v, want zero", c)
+	}
+}
+
+// TestTCPRelayCountersInvariant relays concurrent TCP transfers and
+// checks byte conservation (streams have no drop path) plus session
+// lifecycle events.
+func TestTCPRelayCountersInvariant(t *testing.T) {
+	// Upstream sink: accept, drain, close on EOF.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 32<<10)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(4096)
+	relay, err := NewTCPRelay("127.0.0.1:0", ln.Addr().String(),
+		ConstantShape(500, time.Millisecond, 0), ConstantShape(500, time.Millisecond, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	relay.Instrument(reg, tr)
+
+	const conns, chunk, chunks = 4, 4096, 16
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := net.Dial("tcp", relay.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, chunk)
+			for j := 0; j < chunks; j++ {
+				if _, err := c.Write(buf); err != nil {
+					t.Error(err)
+					break
+				}
+			}
+			c.Close()
+		}()
+	}
+	wg.Wait()
+
+	want := int64(conns * chunk * chunks)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		in, out, _ := dirTotals(reg, "relay.tcp.up")
+		if in == want && out == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tcp up: in=%d out=%d, want both %d", in, out, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := reg.Counter("relay.tcp.sessions").Value(); got != conns {
+		t.Fatalf("sessions = %d, want %d", got, conns)
+	}
+	var starts, ends int
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		starts, ends = 0, 0
+		for _, ev := range tr.Snapshot() {
+			switch ev.Kind {
+			case obs.EvSessionStart:
+				starts++
+			case obs.EvSessionEnd:
+				ends++
+			}
+		}
+		if starts == conns && ends == conns {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("session events: starts=%d ends=%d, want %d each", starts, ends, conns)
+}
+
+// TestUDPRelayRestartAccumulates mimics the supervisor's kill-and-
+// restore: a replacement relay instrumented on the same registry keeps
+// accumulating into the same counters instead of resetting them.
+func TestUDPRelayRestartAccumulates(t *testing.T) {
+	server := echoUDPServer(t)
+	defer server.Close()
+	reg := obs.NewRegistry()
+
+	send := func(r *UDPRelay, n int) {
+		t.Helper()
+		conn, err := net.DialUDP("udp", nil, r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		for i := 0; i < n; i++ {
+			conn.Write(make([]byte, 100))
+		}
+		deadline := time.Now().Add(3 * time.Second)
+		for reg.Counter("relay.udp.up.in_pkts").Value() < int64(n) && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	r1, err := NewUDPRelay("127.0.0.1:0", server.LocalAddr().String(),
+		ConstantShape(100, 0, 0), ConstantShape(100, 0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Instrument(reg, nil)
+	addr := r1.Addr().String()
+	send(r1, 5)
+	r1.Close()
+
+	r2, err := NewUDPRelay(addr, server.LocalAddr().String(),
+		ConstantShape(100, 0, 0), ConstantShape(100, 0, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	r2.Instrument(reg, nil)
+	conn, err := net.DialUDP("udp", nil, r2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 5; i++ {
+		conn.Write(make([]byte, 100))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Counter("relay.udp.up.in_pkts").Value() == 10 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("in_pkts = %d after restart, want 10 (accumulated across relays)",
+		reg.Counter("relay.udp.up.in_pkts").Value())
+}
+
+// BenchmarkRelayObsAccounting measures the pure instrumentation hot
+// path (counter bumps + ring record) as seen per packet, isolating the
+// cost the <5% end-to-end budget is made of.
+func BenchmarkRelayObsAccounting(b *testing.B) {
+	for _, mode := range []string{"noop", "live"} {
+		b.Run(mode, func(b *testing.B) {
+			var o *relayObs
+			if mode == "live" {
+				o = newRelayObs("relay.udp", obs.NewRegistry(), obs.NewTracer(8192))
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := time.Duration(i)
+				o.in(e, "up", 1400)
+				o.delivered(e, "up", 1400)
+			}
+		})
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"satcell/internal/report"
+)
+
+// faultSpan is one reconstructed fault window from open/close events.
+type faultSpan struct {
+	kind  string
+	start time.Duration
+	end   time.Duration
+	open  bool // no close event seen (run ended inside the window)
+}
+
+// collectFaultSpans pairs fault-open/fault-close events (per window
+// kind, in elapsed order) back into windows.
+func collectFaultSpans(events []Event) []faultSpan {
+	var spans []faultSpan
+	open := make(map[string][]int) // kind -> open span indices (FIFO)
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvFaultOpen:
+			open[ev.Detail] = append(open[ev.Detail], len(spans))
+			spans = append(spans, faultSpan{kind: ev.Detail, start: ev.Elapsed(), open: true})
+		case EvFaultClose:
+			q := open[ev.Detail]
+			if len(q) == 0 {
+				continue // close without open: trace started mid-window
+			}
+			spans[q[0]].end = ev.Elapsed()
+			spans[q[0]].open = false
+			open[ev.Detail] = q[1:]
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	return spans
+}
+
+// RenderTimeline renders an exported event trace as a per-second
+// timeline: delivered/dropped traffic rates, a fault-activity strip,
+// session and handover markers, and the reconstructed fault windows
+// with their scheduled offsets. This is how an emulated run is
+// cross-checked against the trace (and fault schedule) it replayed.
+func RenderTimeline(events []Event) string {
+	var b strings.Builder
+	if len(events) == 0 {
+		return "event timeline: (no events)\n"
+	}
+
+	// Span and per-kind census.
+	span := time.Duration(0)
+	kinds := make(map[EventKind]int)
+	for _, ev := range events {
+		kinds[ev.Kind]++
+		if e := ev.Elapsed(); e > span {
+			span = e
+		}
+	}
+	secs := int(span/time.Second) + 1
+	fmt.Fprintf(&b, "event timeline: %d events over %.1fs\n", len(events), span.Seconds())
+	kindNames := make([]string, 0, len(kinds))
+	for k := range kinds {
+		kindNames = append(kindNames, string(k))
+	}
+	sort.Strings(kindNames)
+	for _, k := range kindNames {
+		fmt.Fprintf(&b, "  %-14s %d\n", k, kinds[EventKind(k)])
+	}
+	b.WriteString("\n")
+
+	// Per-second delivered / dropped rates (Mbps from packet sizes).
+	delivered := make([]float64, secs)
+	dropped := make([]float64, secs)
+	havePackets := false
+	for _, ev := range events {
+		s := int(ev.Elapsed() / time.Second)
+		if s < 0 || s >= secs {
+			continue
+		}
+		mbit := float64(ev.Size) * 8 / 1e6
+		switch ev.Kind {
+		case EvDeliver:
+			delivered[s] += mbit
+			havePackets = true
+		case EvDrop:
+			dropped[s] += mbit
+			havePackets = true
+		}
+	}
+	if havePackets {
+		xs := make([]float64, secs)
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		b.WriteString(report.LinePlot("per-second relay traffic", "seconds", "Mbps", 60, 10,
+			[]report.Line{
+				{Label: "delivered Mbps", X: xs, Y: delivered},
+				{Label: "dropped Mbps", X: xs, Y: dropped},
+			}))
+		b.WriteString("\n")
+	}
+
+	// Fault-activity strip: one column per second, '#' when any fault
+	// window is active.
+	spans := collectFaultSpans(events)
+	if len(spans) > 0 {
+		strip := make([]byte, secs)
+		for i := range strip {
+			strip[i] = '.'
+		}
+		for _, sp := range spans {
+			end := sp.end
+			if sp.open {
+				end = span + time.Second
+			}
+			for s := int(sp.start / time.Second); s <= int(end/time.Second) && s < secs; s++ {
+				if s >= 0 {
+					strip[s] = '#'
+				}
+			}
+		}
+		fmt.Fprintf(&b, "faults/s |%s| (# = window active)\n\n", strip)
+		b.WriteString("fault windows (scheduled offsets):\n")
+		for _, sp := range spans {
+			if sp.open {
+				fmt.Fprintf(&b, "  %-9s %8.3fs .. (open at end of trace)\n", sp.kind, sp.start.Seconds())
+				continue
+			}
+			fmt.Fprintf(&b, "  %-9s %8.3fs .. %8.3fs (%.0f ms)\n",
+				sp.kind, sp.start.Seconds(), sp.end.Seconds(),
+				(sp.end-sp.start).Seconds()*1000)
+		}
+		b.WriteString("\n")
+	}
+
+	// Session and handover markers.
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvSessionStart, EvSessionEnd, EvHandover:
+			fmt.Fprintf(&b, "  %8.3fs %-13s %s %s\n",
+				ev.Elapsed().Seconds(), ev.Kind, ev.Src, ev.Detail)
+		}
+	}
+	return b.String()
+}

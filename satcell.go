@@ -26,6 +26,7 @@ import (
 	"satcell/internal/channel"
 	"satcell/internal/core"
 	"satcell/internal/dataset"
+	"satcell/internal/obs"
 	"satcell/internal/trace"
 )
 
@@ -72,6 +73,11 @@ type DatasetOptions struct {
 	// tests; 0 (the default) uses all available cores. The generated
 	// dataset is bit-identical for every worker count.
 	Workers int
+	// Metrics, when non-nil, receives live generation progress
+	// (totals, done counters, per-worker throughput, tests/sec, ETA) —
+	// typically the registry behind a -debug-addr endpoint. It never
+	// affects the generated data.
+	Metrics *obs.Registry
 }
 
 // GenerateDataset runs the measurement campaign.
@@ -79,7 +85,9 @@ func (w *World) GenerateDataset(opts DatasetOptions) *Dataset {
 	if opts.Scale <= 0 {
 		opts.Scale = 0.1
 	}
-	return dataset.Generate(dataset.Config{Seed: w.seed, Scale: opts.Scale, Workers: opts.Workers})
+	return dataset.Generate(dataset.Config{
+		Seed: w.seed, Scale: opts.Scale, Workers: opts.Workers, Metrics: opts.Metrics,
+	})
 }
 
 // FigureOptions tunes the analysis harness.
