@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race chaos bench fsck-suite obs-suite
+.PHONY: check build vet fmt test race chaos bench fsck-suite obs-suite scenario-suite
 
 check: build vet fmt test race
 
@@ -61,6 +61,18 @@ fsck-suite:
 # goroutine hygiene under the race detector.
 chaos:
 	$(GO) test -race -run Chaos -v -count=1 ./internal/faults/
+
+# The scenario suite exercises the open network catalog and the
+# declarative campaign layer: catalog registration/round-trip/builder
+# resolution, the built-in seed contract (catalog-built models must
+# reproduce the historical per-network streams), scenario parsing and
+# validation, subset/custom-network generation, and the fuzz harnesses
+# for the -networks / -scenario flag grammars (seed corpus only; use
+# `go test -fuzz` for open-ended fuzzing).
+scenario-suite:
+	$(GO) test -v -count=1 ./internal/channel/ ./internal/networks/
+	$(GO) test -v -count=1 -run 'Scenario|ParseNetworks|ParseKind|Fuzz|GenerateCustomNetwork' \
+		./internal/dataset/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

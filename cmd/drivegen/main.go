@@ -15,6 +15,11 @@
 //	drivegen -scale 0.1 -seed 42 -out ./data -resume   # after a crash
 //	satcell-analyze -fsck ./data                        # audit the result
 //
+// The campaign is declarative: -networks restricts the measured set
+// ("RM,MOB,ATT"), and -scenario takes the full scenario grammar
+// ("networks=RM,MOB;kinds=udp-down,udp-ping;seed=7;name=rural"). The
+// default is the paper's five-network campaign.
+//
 // A long full-scale run can be watched live: -debug-addr serves
 // /debug/vars with generation progress (tests done/total, per-worker
 // throughput, tests/sec, ETA) and export progress (shards written/
@@ -37,9 +42,16 @@ func main() {
 		workers   = flag.Int("workers", 0, "generation worker goroutines (0 = all cores; output is identical for any value)")
 		resume    = flag.Bool("resume", false, "resume an interrupted campaign: keep verified shards, regenerate missing/corrupt ones")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars (generation progress, ETA) and /debug/pprof/ on this address")
+		netList   = flag.String("networks", "", "comma-separated network subset to measure (default: every catalog network)")
+		scenario  = flag.String("scenario", "", "scenario spec, e.g. networks=RM,MOB;kinds=udp-down;seed=7;name=rural (overrides -networks)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger("drivegen")
+
+	sc, err := scenarioFromFlags(*scenario, *netList)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
 
 	var reg *obs.Registry
 	if *debugAddr != "" {
@@ -57,7 +69,9 @@ func main() {
 	}
 
 	world := satcell.NewWorld(*seed)
-	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale, Workers: *workers, Metrics: reg})
+	ds := world.GenerateDataset(satcell.DatasetOptions{
+		Scale: *scale, Scenario: sc, Workers: *workers, Metrics: reg,
+	})
 
 	stats, err := store.ExportDataset(*out, ds, store.ExportOptions{
 		Seed:    *seed,
@@ -71,4 +85,21 @@ func main() {
 	logger.Infof("%d drives, %d tests, %.0f km, %.0f trace-minutes -> %s (%d shards written, %d reused)",
 		len(ds.Drives), len(ds.Tests), ds.TotalKm, ds.TotalTestMin, *out,
 		stats.Written, stats.Reused)
+}
+
+// scenarioFromFlags builds the campaign scenario from -scenario (the
+// full grammar) or -networks (just a subset); both empty means the
+// default campaign (nil scenario).
+func scenarioFromFlags(scenario, netList string) (*satcell.Scenario, error) {
+	if scenario != "" {
+		return satcell.ParseScenario(nil, scenario)
+	}
+	if netList == "" {
+		return nil, nil
+	}
+	nets, err := satcell.ParseNetworks(nil, netList)
+	if err != nil {
+		return nil, err
+	}
+	return &satcell.Scenario{Networks: nets}, nil
 }

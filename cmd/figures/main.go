@@ -26,21 +26,27 @@ var logger = obs.NewLogger("figures")
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0.25, "campaign scale (1.0 = the paper's ~3,800 km)")
-		seed    = flag.Int64("seed", 42, "world seed")
-		only    = flag.String("figure", "", "render a single figure (e.g. fig3a)")
-		asCSV   = flag.Bool("csv", false, "emit the figure's data as CSV instead of text")
-		expOnly = flag.Bool("experiments", false, "print only the paper-vs-measured table")
-		mpWin   = flag.Int("mp-window", 300, "MPTCP replay window (seconds)")
-		mpN     = flag.Int("mp-windows", 3, "MPTCP replay window count")
-		workers = flag.Int("workers", 0, "generation worker goroutines (0 = all cores; output is identical for any value)")
-		outDir  = flag.String("out", "", "also write figure data as manifested CSV artifacts into this directory")
+		scale    = flag.Float64("scale", 0.25, "campaign scale (1.0 = the paper's ~3,800 km)")
+		seed     = flag.Int64("seed", 42, "world seed")
+		only     = flag.String("figure", "", "render a single figure (e.g. fig3a)")
+		asCSV    = flag.Bool("csv", false, "emit the figure's data as CSV instead of text")
+		expOnly  = flag.Bool("experiments", false, "print only the paper-vs-measured table")
+		mpWin    = flag.Int("mp-window", 300, "MPTCP replay window (seconds)")
+		mpN      = flag.Int("mp-windows", 3, "MPTCP replay window count")
+		workers  = flag.Int("workers", 0, "generation worker goroutines (0 = all cores; output is identical for any value)")
+		outDir   = flag.String("out", "", "also write figure data as manifested CSV artifacts into this directory")
+		netList  = flag.String("networks", "", "comma-separated network subset to measure (default: every catalog network)")
+		scenario = flag.String("scenario", "", "scenario spec, e.g. networks=RM,MOB;kinds=udp-down;seed=7 (overrides -networks)")
 	)
 	flag.Parse()
 
+	sc, err := scenarioFromFlags(*scenario, *netList)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
 	world := satcell.NewWorld(*seed)
 	fmt.Fprintf(os.Stderr, "generating dataset (scale %.2f)...\n", *scale)
-	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale, Workers: *workers})
+	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale, Scenario: sc, Workers: *workers})
 	opts := satcell.FigureOptions{MultipathWindowSeconds: *mpWin, MultipathWindows: *mpN}
 
 	if *only != "" {
@@ -72,6 +78,23 @@ func main() {
 	}
 	fmt.Println("== Paper vs measured ==")
 	fmt.Print(satcell.RenderExperiments(satcell.Experiments(figs)))
+}
+
+// scenarioFromFlags builds the campaign scenario from -scenario (the
+// full grammar) or -networks (just a subset); both empty means the
+// default campaign (nil scenario).
+func scenarioFromFlags(scenario, netList string) (*satcell.Scenario, error) {
+	if scenario != "" {
+		return satcell.ParseScenario(nil, scenario)
+	}
+	if netList == "" {
+		return nil, nil
+	}
+	nets, err := satcell.ParseNetworks(nil, netList)
+	if err != nil {
+		return nil, err
+	}
+	return &satcell.Scenario{Networks: nets}, nil
 }
 
 // writeArtifacts persists each figure's data as <id>.csv through the

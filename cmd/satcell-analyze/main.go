@@ -27,6 +27,7 @@ import (
 
 	"satcell/internal/core"
 	"satcell/internal/dataset"
+	"satcell/internal/networks"
 	"satcell/internal/obs"
 	"satcell/internal/report"
 	"satcell/internal/stats"
@@ -86,7 +87,7 @@ func main() {
 	}
 	fmt.Printf("loaded %d tests from %s (%d usable for analysis)\n\n", len(rows), *path, len(usable))
 
-	networks := []string{"RM", "MOB", "ATT", "TM", "VZ"}
+	networks := analyzedNetworks(usable)
 
 	// Per-network summary for the selected kind.
 	fmt.Printf("%-5s %6s %8s %8s %8s %8s   (kind=%s)\n",
@@ -153,6 +154,32 @@ func main() {
 	}
 	fmt.Print(report.StackedChart("performance-level coverage",
 		[]string{"very-low", "low", "medium", "high"}, 50, cols))
+}
+
+// analyzedNetworks derives the report's network column order from the
+// data: catalog networks first (registration order), then any ids the
+// rows carry that this build's catalog does not know, in first-seen
+// order — a field campaign's tests.csv may include networks registered
+// only in the binary that generated it.
+func analyzedNetworks(rows []store.TestRow) []string {
+	seen := make(map[string]bool, 8)
+	for _, r := range rows {
+		seen[r.Network] = true
+	}
+	var out []string
+	for _, id := range networks.Default().IDs() {
+		if seen[string(id)] {
+			out = append(out, string(id))
+			delete(seen, string(id))
+		}
+	}
+	for _, r := range rows {
+		if seen[r.Network] {
+			out = append(out, r.Network)
+			delete(seen, r.Network)
+		}
+	}
+	return out
 }
 
 // runFsck audits a dataset directory and exits non-zero on findings.

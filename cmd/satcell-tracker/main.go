@@ -14,12 +14,11 @@ import (
 	"os"
 	"time"
 
-	"satcell/internal/cell"
 	"satcell/internal/channel"
 	"satcell/internal/geo"
-	"satcell/internal/leo"
 	"satcell/internal/meas/tracker"
 	"satcell/internal/mobility"
+	"satcell/internal/networks"
 	"satcell/internal/obs"
 	"satcell/internal/store"
 )
@@ -28,7 +27,7 @@ var logger = obs.NewLogger("satcell-tracker")
 
 // driveProvider adapts a drive + channel model to tracker.Provider.
 type driveProvider struct {
-	network channel.Network
+	network channel.NetworkID
 	fixes   []mobility.Fix
 	model   channel.Model
 }
@@ -41,13 +40,9 @@ func (p *driveProvider) Info(at time.Duration) (tracker.Record, error) {
 	}
 	f := p.fixes[idx]
 	s := p.model.Sample(channel.Env{At: f.At, Pos: f.Pos, SpeedKmh: f.SpeedKmh, Area: f.Area})
-	netType := "starlink"
-	if p.network.Cellular() {
-		netType = "cellular"
-	}
 	return tracker.Record{
 		Network:  p.network.String(),
-		NetType:  netType,
+		NetType:  p.network.Class().String(),
 		Lat:      f.Pos.Lat,
 		Lon:      f.Pos.Lon,
 		SpeedKmh: f.SpeedKmh,
@@ -58,24 +53,30 @@ func (p *driveProvider) Info(at time.Duration) (tracker.Record, error) {
 }
 
 func main() {
+	cat := networks.Default()
 	var (
-		network = flag.String("network", "MOB", "device network: RM, MOB, ATT, TM or VZ")
-		route   = flag.String("route", "", "route name (default: first route of the corpus)")
-		seed    = flag.Int64("seed", 42, "world seed")
-		dur     = flag.Duration("t", 10*time.Minute, "tracking duration")
-		period  = flag.Duration("i", time.Second, "sampling period")
-		out     = flag.String("out", "", "output JSONL file (default stdout)")
+		network = flag.String("network", channel.StarlinkMobility.String(),
+			fmt.Sprintf("device network: one of %v", cat.IDs()))
+		route  = flag.String("route", "", "route name (default: first route of the corpus)")
+		seed   = flag.Int64("seed", 42, "world seed")
+		dur    = flag.Duration("t", 10*time.Minute, "tracking duration")
+		period = flag.Duration("i", time.Second, "sampling period")
+		out    = flag.String("out", "", "output JSONL file (default stdout)")
 	)
 	flag.Parse()
 
-	n, err := channel.ParseNetwork(*network)
+	n, err := cat.Parse(*network)
 	if err != nil {
 		logger.Fatalf("%v", err)
 	}
 	r := pickRoute(*route)
 	gaz := geo.DefaultGazetteer()
 	fixes := mobility.Drive(r, gaz, mobility.DriveConfig{}, rand.New(rand.NewSource(*seed)))
-	model := buildModel(n, *seed)
+	build, err := cat.Builder(n, *seed)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	model := build()
 
 	tr := tracker.New(&driveProvider{network: n, fixes: fixes, model: model}, *period)
 	maxDur := time.Duration(len(fixes)) * time.Second
@@ -118,12 +119,4 @@ func pickRoute(name string) *mobility.Route {
 	}
 	logger.Fatalf("unknown route %q (have %v)", name, names)
 	return nil
-}
-
-func buildModel(n channel.Network, seed int64) channel.Model {
-	if plan, ok := leo.PlanFor(n); ok {
-		return leo.NewModel(plan, leo.NewConstellation(leo.StarlinkShell()), seed)
-	}
-	carrier, _ := cell.CarrierFor(n)
-	return cell.NewModel(carrier, seed)
 }

@@ -40,7 +40,7 @@ func main() {
 
 	// Latency summary from the ping tests (Fig. 4 style).
 	fmt.Printf("\n%-22s %10s %10s\n", "network", "median RTT", "p90 RTT")
-	for _, n := range channel.Networks {
+	for _, n := range ds.Networks {
 		var rtts []float64
 		for _, t := range ds.Filter(dataset.ByNetwork(n), dataset.ByKind(dataset.Ping)) {
 			rtts = append(rtts, t.RTTsMs...)

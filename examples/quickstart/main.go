@@ -25,9 +25,17 @@ func main() {
 	fmt.Printf("Cellular (pooled): UDP %.0f Mbps vs TCP %.0f Mbps (%.1fx gap)\n\n",
 		fig.KPI("cell_udp_mean_mbps"), fig.KPI("cell_tcp_mean_mbps"), fig.KPI("cell_udp_tcp_ratio"))
 
-	// Fig. 9: who covers the map at >100 Mbps.
+	// Fig. 9: who covers the map at >100 Mbps. Column ids come from the
+	// network catalog ("BestCL" and "+CL" are the figure's combination
+	// columns).
 	cov := world.Figure(ds, "fig9", satcell.FigureOptions{})
-	for _, col := range []string{"ATT", "TM", "VZ", "BestCL", "RM", "MOB", "MOB+CL"} {
+	cols := []string{
+		satcell.ATT.String(), satcell.TMobile.String(), satcell.Verizon.String(),
+		"BestCL",
+		satcell.StarlinkRoam.String(), satcell.StarlinkMobility.String(),
+		satcell.StarlinkMobility.String() + "+CL",
+	}
+	for _, col := range cols {
 		fmt.Printf("%-8s high-performance coverage: %5.1f%%\n",
 			col, 100*cov.KPI(col+"_high"))
 	}

@@ -40,7 +40,7 @@ type AreaParams struct {
 
 // Carrier describes one cellular operator.
 type Carrier struct {
-	Network channel.Network
+	Network channel.NetworkID
 
 	// Deployment per area type, indexed by geo.AreaType.
 	Deployment [3]AreaParams
@@ -105,8 +105,10 @@ func Carriers() []Carrier {
 	}
 }
 
-// CarrierFor returns the carrier parameters for a cellular network.
-func CarrierFor(n channel.Network) (Carrier, bool) {
+// CarrierFor returns the carrier parameters for a built-in cellular
+// network, or false for anything else. Custom carriers live in the
+// network catalog, not here.
+func CarrierFor(n channel.NetworkID) (Carrier, bool) {
 	for _, c := range Carriers() {
 		if c.Network == n {
 			return c, true

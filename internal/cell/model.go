@@ -81,7 +81,7 @@ func ModelBuilder(carrier Carrier, seed int64) channel.Builder {
 }
 
 // Network implements channel.Model.
-func (m *Model) Network() channel.Network { return m.carrier.Network }
+func (m *Model) Network() channel.NetworkID { return m.carrier.Network }
 
 // Reset implements channel.Model.
 func (m *Model) Reset() {

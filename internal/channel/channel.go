@@ -10,58 +10,88 @@
 package channel
 
 import (
-	"fmt"
 	"time"
 
 	"satcell/internal/geo"
 )
 
-// Network identifies one of the five measured services.
-type Network int
+// NetworkID identifies one network service by its short id (the label
+// used in the paper's figures for the built-in five). It is an open,
+// string-backed identity: any id registered in a Catalog is valid, so
+// new carriers, plans or constellations can be added without touching
+// this package. The zero value is NetworkInvalid.
+type NetworkID string
 
+// Network is the historical name of NetworkID, kept as an alias so
+// pre-catalog code and tests keep compiling.
+//
+// Deprecated: use NetworkID.
+type Network = NetworkID
+
+// The paper's five measured services, registered in the default
+// catalog. Their ids double as their short display labels.
 const (
-	StarlinkRoam Network = iota
-	StarlinkMobility
-	ATT
-	TMobile
-	Verizon
+	StarlinkRoam     NetworkID = "RM"
+	StarlinkMobility NetworkID = "MOB"
+	ATT              NetworkID = "ATT"
+	TMobile          NetworkID = "TM"
+	Verizon          NetworkID = "VZ"
 )
 
-// Networks lists all five services in the paper's canonical order.
-var Networks = []Network{StarlinkRoam, StarlinkMobility, ATT, TMobile, Verizon}
+// NetworkInvalid is the explicit not-a-network sentinel returned by
+// failed parses. It is never registered in a catalog, so it can always
+// be distinguished from a valid id (the old int enum returned 0 on
+// error, which aliased StarlinkRoam).
+const NetworkInvalid NetworkID = ""
 
-// Cellular reports whether n is a cellular carrier.
-func (n Network) Cellular() bool { return n == ATT || n == TMobile || n == Verizon }
+// Networks lists the paper's five built-in services in canonical order.
+// Campaign code should iterate a Scenario's networks (or a Catalog)
+// instead; this list exists for the paper-specific analyses and tests.
+var Networks = []NetworkID{StarlinkRoam, StarlinkMobility, ATT, TMobile, Verizon}
 
-// Satellite reports whether n is a Starlink plan.
-func (n Network) Satellite() bool { return n == StarlinkRoam || n == StarlinkMobility }
+// Valid reports whether n is a usable id (not the invalid sentinel).
+// It does not check catalog membership; see Catalog.Has for that.
+func (n NetworkID) Valid() bool { return n != NetworkInvalid }
 
-// String returns the short name used in the paper's figures.
-func (n Network) String() string {
-	switch n {
-	case StarlinkRoam:
-		return "RM"
-	case StarlinkMobility:
-		return "MOB"
-	case ATT:
-		return "ATT"
-	case TMobile:
-		return "TM"
-	case Verizon:
-		return "VZ"
-	default:
-		return fmt.Sprintf("Network(%d)", int(n))
+// Cellular reports whether n is registered as a cellular carrier in the
+// default catalog. Unregistered ids report false.
+func (n NetworkID) Cellular() bool { return n.Class() == ClassCellular }
+
+// Satellite reports whether n is registered as a satellite service in
+// the default catalog. Unregistered ids report false.
+func (n NetworkID) Satellite() bool { return n.Class() == ClassSatellite }
+
+// Class returns n's class per the default catalog (ClassUnknown for
+// unregistered ids).
+func (n NetworkID) Class() Class {
+	if spec, ok := DefaultCatalog().Spec(n); ok {
+		return spec.Class
 	}
+	return ClassUnknown
 }
 
-// ParseNetwork converts a short name back to a Network.
-func ParseNetwork(s string) (Network, error) {
-	for _, n := range Networks {
-		if n.String() == s {
-			return n, nil
-		}
+// String returns the short id used in figures and CSV schemas.
+func (n NetworkID) String() string {
+	if n == NetworkInvalid {
+		return "invalid"
 	}
-	return 0, fmt.Errorf("channel: unknown network %q", s)
+	return string(n)
+}
+
+// DisplayName returns the human-readable name from the default catalog,
+// falling back to the short id for unregistered networks.
+func (n NetworkID) DisplayName() string {
+	if spec, ok := DefaultCatalog().Spec(n); ok && spec.Name != "" {
+		return spec.Name
+	}
+	return n.String()
+}
+
+// ParseNetwork converts a short id back to a NetworkID via the default
+// catalog. On failure it returns the explicit NetworkInvalid sentinel
+// (never a valid id) alongside the error.
+func ParseNetwork(s string) (NetworkID, error) {
+	return DefaultCatalog().Parse(s)
 }
 
 // Env is the drive environment a channel model samples under.
@@ -95,7 +125,7 @@ type Sample struct {
 // Model generates channel samples for one network service.
 type Model interface {
 	// Network identifies the service this model describes.
-	Network() Network
+	Network() NetworkID
 	// Sample returns the channel conditions under env. Implementations
 	// advance internal state (fading processes, serving element) and
 	// must be called with non-decreasing env.At.
@@ -114,7 +144,7 @@ type Builder func() Model
 
 // Trace is an ordered sequence of samples from one model.
 type Trace struct {
-	Network Network
+	Network NetworkID
 	Samples []Sample
 }
 

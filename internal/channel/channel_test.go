@@ -25,8 +25,14 @@ func TestNetworkClassification(t *testing.T) {
 			t.Fatalf("%v must be exactly one of cellular/satellite", n)
 		}
 	}
-	if Network(99).String() != "Network(99)" {
-		t.Fatal("unknown network String()")
+	if NetworkInvalid.String() != "invalid" {
+		t.Fatal("invalid network String()")
+	}
+	if NetworkInvalid.Cellular() || NetworkInvalid.Satellite() || NetworkInvalid.Valid() {
+		t.Fatal("invalid sentinel must classify as nothing")
+	}
+	if n := NetworkID("no-such-net"); n.Class() != ClassUnknown {
+		t.Fatalf("unregistered id class = %v", n.Class())
 	}
 }
 

@@ -19,6 +19,13 @@ type Analyzer struct {
 	DS   *dataset.Dataset
 	Seed int64
 
+	// Catalog classifies the dataset's networks (satellite vs cellular)
+	// and resolves display names. Nil means the default catalog, which
+	// covers the built-in five plus everything registered through the
+	// public API; set it when analyzing a dataset generated from a
+	// cloned catalog.
+	Catalog *channel.Catalog
+
 	idx queryIndex
 }
 
@@ -27,8 +34,73 @@ func NewAnalyzer(ds *dataset.Dataset) *Analyzer {
 	return &Analyzer{DS: ds, Seed: ds.Seed}
 }
 
-// cellularNetworks lists the three carriers.
-var cellularNetworks = []channel.Network{channel.ATT, channel.TMobile, channel.Verizon}
+// cellularNetworks lists the paper's three carriers (used as preferred
+// orderings; scenario-aware analyses go through Analyzer.Cellulars).
+var cellularNetworks = []channel.NetworkID{channel.ATT, channel.TMobile, channel.Verizon}
+
+// Networks returns the dataset's measured networks in campaign order,
+// falling back to the built-in five for datasets predating scenarios.
+func (a *Analyzer) Networks() []channel.NetworkID {
+	if len(a.DS.Networks) > 0 {
+		return a.DS.Networks
+	}
+	return channel.Networks
+}
+
+func (a *Analyzer) catalog() *channel.Catalog {
+	if a.Catalog != nil {
+		return a.Catalog
+	}
+	return channel.DefaultCatalog()
+}
+
+// Cellulars returns the dataset's cellular networks in campaign order.
+func (a *Analyzer) Cellulars() []channel.NetworkID { return a.byClass(channel.ClassCellular) }
+
+// Satellites returns the dataset's satellite networks in campaign order.
+func (a *Analyzer) Satellites() []channel.NetworkID { return a.byClass(channel.ClassSatellite) }
+
+func (a *Analyzer) byClass(c channel.Class) []channel.NetworkID {
+	cat := a.catalog()
+	var out []channel.NetworkID
+	for _, n := range a.Networks() {
+		if s, ok := cat.Spec(n); ok && s.Class == c {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// has reports whether the dataset measured network n.
+func (a *Analyzer) has(n channel.NetworkID) bool {
+	for _, m := range a.Networks() {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// orderPreferred returns the dataset's networks with the paper's
+// preferred ids (those present) first and every remaining network in
+// campaign order after them — so default-scenario figures keep the
+// paper's series order and custom networks still appear.
+func (a *Analyzer) orderPreferred(preferred ...channel.NetworkID) []channel.NetworkID {
+	var out []channel.NetworkID
+	taken := make(map[channel.NetworkID]bool, len(preferred))
+	for _, n := range preferred {
+		if a.has(n) {
+			out = append(out, n)
+			taken[n] = true
+		}
+	}
+	for _, n := range a.Networks() {
+		if !taken[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // perSecond pools the per-second goodput samples of the given tests.
 func perSecond(tests []*dataset.Test) []float64 {
@@ -66,7 +138,7 @@ func (a *Analyzer) Figure1() *Figure {
 		}
 	}
 	d := &a.DS.Drives[best]
-	for _, n := range []channel.Network{channel.StarlinkMobility, channel.Verizon, channel.TMobile, channel.ATT} {
+	for _, n := range a.figure1Networks() {
 		tr := d.Trace(n)
 		s := Series{Label: n.String()}
 		for _, smp := range tr.Samples {
@@ -80,6 +152,22 @@ func (a *Analyzer) Figure1() *Figure {
 	return f
 }
 
+// figure1Networks picks the motivation timeline's series: the paper's
+// four (MOB and the carriers) when present, every measured network for
+// scenarios that share none of them.
+func (a *Analyzer) figure1Networks() []channel.NetworkID {
+	var out []channel.NetworkID
+	for _, n := range []channel.NetworkID{channel.StarlinkMobility, channel.Verizon, channel.TMobile, channel.ATT} {
+		if a.has(n) {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return a.Networks()
+	}
+	return out
+}
+
 // Figure3a reproduces the TCP-vs-UDP downlink CDFs for Starlink
 // Mobility vs the pooled cellular carriers.
 func (a *Analyzer) Figure3a() *Figure {
@@ -90,7 +178,7 @@ func (a *Analyzer) Figure3a() *Figure {
 	mobTCP := a.PerSecond(channel.StarlinkMobility, dataset.TCPDown)
 	mobUDP := a.PerSecond(channel.StarlinkMobility, dataset.UDPDown)
 	var cellTCP, cellUDP []float64
-	for _, n := range cellularNetworks {
+	for _, n := range a.Cellulars() {
 		cellTCP = append(cellTCP, a.PerSecond(n, dataset.TCPDown)...)
 		cellUDP = append(cellUDP, a.PerSecond(n, dataset.UDPDown)...)
 	}
@@ -148,7 +236,7 @@ func (a *Analyzer) Figure4() *Figure {
 		ID: "fig4", Title: "UDP-Ping round-trip latency CDFs",
 		Kind: CDF, XLabel: "RTT (ms)", YLabel: "CDF",
 	}
-	for _, n := range channel.Networks {
+	for _, n := range a.Networks() {
 		var rtts []float64
 		for _, t := range a.Tests(n, dataset.Ping) {
 			rtts = append(rtts, t.RTTsMs...)
@@ -170,7 +258,7 @@ func (a *Analyzer) Figure5() *Figure {
 	}
 	downS := Series{Label: "downlink"}
 	upS := Series{Label: "uplink"}
-	for i, n := range channel.Networks {
+	for i, n := range a.Networks() {
 		down := meanRetrans(a.Tests(n, dataset.TCPDown))
 		up := meanRetrans(a.Tests(n, dataset.TCPUp))
 		downS.X = append(downS.X, float64(i))
@@ -202,8 +290,7 @@ func (a *Analyzer) Figure6() *Figure {
 		ID: "fig6", Title: "Throughput vs moving speed (rural only)",
 		Kind: Bars, XLabel: "speed bucket (km/h)", YLabel: "mean throughput (Mbps)",
 	}
-	networks := []channel.Network{channel.StarlinkMobility, channel.StarlinkRoam, channel.ATT, channel.TMobile, channel.Verizon}
-	for _, n := range networks {
+	for _, n := range a.orderPreferred(channel.StarlinkMobility, channel.StarlinkRoam, channel.ATT, channel.TMobile, channel.Verizon) {
 		buckets := stats.NewBucketed()
 		for _, d := range a.DS.Drives {
 			for _, r := range d.Observed[n] {
@@ -266,7 +353,7 @@ func (a *Analyzer) Figure7() *Figure {
 	}
 	rm1 := a.Tests(channel.StarlinkRoam, dataset.TCPDown, dataset.TCPDown4P, dataset.TCPDown8P)
 	var c1 []*dataset.Test
-	for _, n := range cellularNetworks {
+	for _, n := range a.Cellulars() {
 		c1 = append(c1, a.Tests(n, dataset.TCPDown, dataset.TCPDown4P, dataset.TCPDown8P)...)
 	}
 	rm4g, rm8g := gains(rm1)
@@ -289,7 +376,7 @@ func (a *Analyzer) Figure8() *Figure {
 		ID: "fig8", Title: "UDP downlink throughput by area type",
 		Kind: BoxPlot, XLabel: "area type", YLabel: "throughput (Mbps)",
 	}
-	areaSamples := func(nets []channel.Network, area geo.AreaType) []float64 {
+	areaSamples := func(nets []channel.NetworkID, area geo.AreaType) []float64 {
 		var out []float64
 		for _, d := range a.DS.Drives {
 			for _, n := range nets {
@@ -304,10 +391,10 @@ func (a *Analyzer) Figure8() *Figure {
 	}
 	for gi, group := range []struct {
 		label string
-		nets  []channel.Network
+		nets  []channel.NetworkID
 	}{
-		{"Cellular", cellularNetworks},
-		{"MOB", []channel.Network{channel.StarlinkMobility}},
+		{"Cellular", a.Cellulars()},
+		{"MOB", []channel.NetworkID{channel.StarlinkMobility}},
 	} {
 		s := Series{Label: group.label}
 		for ai, area := range geo.AreaTypes {
@@ -358,13 +445,17 @@ func (a *Analyzer) Figure9() *Figure {
 		ID: "fig9", Title: "Coverage share per performance level",
 		Kind: StackedBars, XLabel: "network", YLabel: "fraction",
 	}
-	// Column order follows the paper.
+	// Column order follows the paper, generalized over the scenario:
+	// each cellular carrier, the best-of-cellular combination, then each
+	// satellite network alone and paired with the cellular ensemble. For
+	// the default scenario this reproduces the paper's eight columns
+	// (ATT, TM, VZ, BestCL, RM, RM+CL, MOB, MOB+CL) exactly.
 	type column struct {
 		label string
-		pick  func(sec map[channel.Network]float64) float64
+		pick  func(sec map[channel.NetworkID]float64) float64
 	}
-	maxOf := func(nets ...channel.Network) func(map[channel.Network]float64) float64 {
-		return func(sec map[channel.Network]float64) float64 {
+	maxOf := func(nets ...channel.NetworkID) func(map[channel.NetworkID]float64) float64 {
+		return func(sec map[channel.NetworkID]float64) float64 {
 			best := 0.0
 			for _, n := range nets {
 				if v := sec[n]; v > best {
@@ -374,23 +465,29 @@ func (a *Analyzer) Figure9() *Figure {
 			return best
 		}
 	}
-	cols := []column{
-		{"ATT", maxOf(channel.ATT)},
-		{"TM", maxOf(channel.TMobile)},
-		{"VZ", maxOf(channel.Verizon)},
-		{"BestCL", maxOf(cellularNetworks...)},
-		{"RM", maxOf(channel.StarlinkRoam)},
-		{"RM+CL", maxOf(append([]channel.Network{channel.StarlinkRoam}, cellularNetworks...)...)},
-		{"MOB", maxOf(channel.StarlinkMobility)},
-		{"MOB+CL", maxOf(append([]channel.Network{channel.StarlinkMobility}, cellularNetworks...)...)},
+	cellulars := a.Cellulars()
+	var cols []column
+	for _, n := range cellulars {
+		cols = append(cols, column{n.String(), maxOf(n)})
 	}
+	if len(cellulars) > 1 {
+		cols = append(cols, column{"BestCL", maxOf(cellulars...)})
+	}
+	for _, n := range a.Satellites() {
+		cols = append(cols, column{n.String(), maxOf(n)})
+		if len(cellulars) > 0 {
+			cols = append(cols, column{n.String() + "+CL",
+				maxOf(append([]channel.NetworkID{n}, cellulars...)...)})
+		}
+	}
+	nets := a.Networks()
 	counts := make([][4]int, len(cols))
 	total := 0
 	for _, d := range a.DS.Drives {
 		n := len(d.Fixes)
 		for i := 0; i < n; i++ {
-			sec := make(map[channel.Network]float64, 5)
-			for _, net := range channel.Networks {
+			sec := make(map[channel.NetworkID]float64, len(nets))
+			for _, net := range nets {
 				sec[net] = d.Observed[net][i].Sample.DownMbps
 			}
 			for ci, c := range cols {

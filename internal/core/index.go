@@ -10,13 +10,13 @@ import (
 
 // bucketKey identifies one (network, kind) test bucket of the index.
 type bucketKey struct {
-	net  channel.Network
+	net  channel.NetworkID
 	kind dataset.Kind
 }
 
 // areaKey identifies one (network, kind, area) test bucket.
 type areaKey struct {
-	net  channel.Network
+	net  channel.NetworkID
 	kind dataset.Kind
 	area geo.AreaType
 }
@@ -74,7 +74,7 @@ func (a *Analyzer) SkippedTests() int { return a.index().skipped }
 // dataset order — the same tests, in the same order, Filter(ByNetwork,
 // ByKind) would return. The slice is shared index state: callers must
 // not modify it.
-func (a *Analyzer) Tests(n channel.Network, kinds ...dataset.Kind) []*dataset.Test {
+func (a *Analyzer) Tests(n channel.NetworkID, kinds ...dataset.Kind) []*dataset.Test {
 	ix := a.index()
 	if len(kinds) == 1 {
 		return ix.tests[bucketKey{n, kinds[0]}]
@@ -83,7 +83,7 @@ func (a *Analyzer) Tests(n channel.Network, kinds ...dataset.Kind) []*dataset.Te
 }
 
 // TestsInArea is Tests restricted to one majority area type.
-func (a *Analyzer) TestsInArea(n channel.Network, area geo.AreaType, kinds ...dataset.Kind) []*dataset.Test {
+func (a *Analyzer) TestsInArea(n channel.NetworkID, area geo.AreaType, kinds ...dataset.Kind) []*dataset.Test {
 	ix := a.index()
 	if len(kinds) == 1 {
 		return ix.byArea[areaKey{n, kinds[0], area}]
@@ -101,7 +101,7 @@ func (a *Analyzer) TestsInArea(n channel.Network, area geo.AreaType, kinds ...da
 // network's tests of the given kinds, memoized for the single-kind
 // queries every CDF figure makes. The slice is shared index state for
 // single-kind queries: callers must not modify it.
-func (a *Analyzer) PerSecond(n channel.Network, kinds ...dataset.Kind) []float64 {
+func (a *Analyzer) PerSecond(n channel.NetworkID, kinds ...dataset.Kind) []float64 {
 	ix := a.index()
 	if len(kinds) == 1 {
 		return ix.pooled[bucketKey{n, kinds[0]}]
@@ -109,7 +109,7 @@ func (a *Analyzer) PerSecond(n channel.Network, kinds ...dataset.Kind) []float64
 	return perSecond(mergeByID(bucketsOf(ix, n, kinds)))
 }
 
-func bucketsOf(ix *queryIndex, n channel.Network, kinds []dataset.Kind) [][]*dataset.Test {
+func bucketsOf(ix *queryIndex, n channel.NetworkID, kinds []dataset.Kind) [][]*dataset.Test {
 	buckets := make([][]*dataset.Test, 0, len(kinds))
 	for _, k := range kinds {
 		if b := ix.tests[bucketKey{n, k}]; len(b) > 0 {

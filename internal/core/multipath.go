@@ -113,7 +113,15 @@ func runMPTCP(traces []*channel.Trace, dur time.Duration, rcvBuf, queue int, sch
 // emerges from droptail queues, exactly as in Mahimahi.
 func (a *Analyzer) alignedWindows(winDur time.Duration, n int) [][]*channel.Trace {
 	var out [][]*channel.Trace
-	need := []channel.Network{channel.StarlinkMobility, channel.ATT, channel.Verizon}
+	need := []channel.NetworkID{channel.StarlinkMobility, channel.ATT, channel.Verizon}
+	// The §6 replays pair Starlink Mobility with AT&T and Verizon; a
+	// scenario that did not measure all three has no aligned windows and
+	// the multipath figures degrade to their "no windows" note.
+	for _, n := range need {
+		if !a.has(n) {
+			return nil
+		}
+	}
 	var fallback [][]*channel.Trace
 	for di := 0; di < len(a.DS.Drives) && len(out) < n; di++ {
 		d := &a.DS.Drives[di]

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"satcell/internal/channel"
 	"satcell/internal/dataset"
 )
 
@@ -15,7 +16,15 @@ type RunConfig struct {
 // AllFigures generates the dataset (unless ds is provided) and produces
 // every figure keyed by ID.
 func AllFigures(ds *dataset.Dataset, mp MultipathConfig) map[string]*Figure {
+	return AllFiguresCatalog(ds, mp, nil)
+}
+
+// AllFiguresCatalog is AllFigures with an explicit network catalog (nil
+// means the default) classifying the dataset's networks — needed when
+// the dataset was generated from a cloned catalog with custom networks.
+func AllFiguresCatalog(ds *dataset.Dataset, mp MultipathConfig, cat *channel.Catalog) map[string]*Figure {
 	a := NewAnalyzer(ds)
+	a.Catalog = cat
 	figs := []*Figure{
 		a.Figure1(),
 		a.Figure3a(), a.Figure3b(), a.Figure3c(),

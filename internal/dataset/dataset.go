@@ -13,10 +13,8 @@ import (
 	"runtime"
 	"time"
 
-	"satcell/internal/cell"
 	"satcell/internal/channel"
 	"satcell/internal/geo"
-	"satcell/internal/leo"
 	"satcell/internal/mobility"
 	"satcell/internal/obs"
 	"satcell/internal/stats"
@@ -141,7 +139,7 @@ var testRotation = []Kind{
 // Test is one per-device network test (the paper's unit: 1,239 of them).
 type Test struct {
 	ID       int
-	Network  channel.Network
+	Network  channel.NetworkID
 	Kind     Kind
 	Route    string
 	State    string
@@ -173,12 +171,12 @@ type Drive struct {
 	Route    string
 	State    string
 	Fixes    []mobility.Fix
-	Observed map[channel.Network][]channel.Record
+	Observed map[channel.NetworkID][]channel.Record
 }
 
 // Trace extracts the continuous channel trace of one network over the
 // whole drive.
-func (d *Drive) Trace(n channel.Network) *channel.Trace {
+func (d *Drive) Trace(n channel.NetworkID) *channel.Trace {
 	recs := d.Observed[n]
 	tr := &channel.Trace{Network: n}
 	for _, r := range recs {
@@ -191,6 +189,13 @@ func (d *Drive) Trace(n channel.Network) *channel.Trace {
 type Dataset struct {
 	Drives []Drive
 	Tests  []Test
+
+	// Networks is the campaign's measured network set in iteration
+	// order; consumers (analyses, export, reports) iterate this instead
+	// of assuming the built-in five.
+	Networks []channel.NetworkID
+	// Scenario names the scenario the campaign ran (may be empty).
+	Scenario string
 
 	TotalKm      float64
 	TotalTestMin float64
@@ -205,7 +210,15 @@ type Config struct {
 	// ~3,800 km / ~1,239 tests; smaller values generate proportionally
 	// less. Default 0.05.
 	Scale float64
-	// Routes overrides the drive corpus (default mobility.DefaultRoutes).
+	// Scenario declares the campaign: network subset (and the catalog
+	// resolving it), route mix, test matrix and optionally the seed.
+	// Nil means the default scenario — the paper's five networks over
+	// the default routes with the §3.2 rotation — which reproduces the
+	// seed dataset bit-identically. Generate panics on an invalid
+	// scenario; callers taking user input should Validate first.
+	Scenario *Scenario
+	// Routes overrides the drive corpus (default: the scenario's
+	// routes, then mobility.DefaultRoutes).
 	Routes []*mobility.Route
 	// Workers bounds the goroutines simulating drives and evaluating
 	// tests; 0 (the default) uses runtime.GOMAXPROCS(0). The campaign
@@ -247,17 +260,28 @@ func Generate(cfg Config) *Dataset {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 0.05
 	}
+	sc := cfg.Scenario
+	if sc == nil {
+		sc = DefaultScenario()
+	}
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	if sc.Seed != 0 {
+		cfg.Seed = sc.Seed
+	}
 	routes := cfg.Routes
 	if len(routes) == 0 {
-		routes = mobility.DefaultRoutes()
+		routes = sc.routes()
 	}
+	nets := sc.networks()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	ds := &Dataset{Seed: cfg.Seed}
-	drives, tests := planCampaign(cfg, routes, ds)
+	ds := &Dataset{Seed: cfg.Seed, Networks: nets, Scenario: sc.Name}
+	drives, tests := planCampaign(cfg, routes, nets, sc.rotation(), ds)
 
 	reg := cfg.Metrics
 	reg.Gauge("dataset.drives_total").Set(float64(len(drives)))
@@ -287,8 +311,7 @@ func Generate(cfg Config) *Dataset {
 		return remaining / (float64(done) / el)
 	})
 
-	cons := leo.NewConstellation(leo.StarlinkShell())
-	ds.Drives = executeDrives(drives, modelBuilders(cfg.Seed, cons), workers, reg)
+	ds.Drives = executeDrives(drives, nets, modelBuilders(sc, nets, cfg.Seed), workers, reg)
 	ds.Tests = executeTests(tests, ds.Drives, cfg.Seed, workers, reg)
 	return ds
 }
@@ -305,7 +328,7 @@ type drivePlan struct {
 type testPlan struct {
 	id    int
 	drive int
-	net   channel.Network
+	net   channel.NetworkID
 	kind  Kind
 	start time.Duration
 	dur   time.Duration
@@ -315,7 +338,7 @@ type testPlan struct {
 // campaign RNG in exactly the order the original serial generator did
 // (per drive: mobility draws, then window offset/duration/gap draws),
 // so the plan — and with it the whole dataset — is unchanged.
-func planCampaign(cfg Config, routes []*mobility.Route, ds *Dataset) ([]drivePlan, []testPlan) {
+func planCampaign(cfg Config, routes []*mobility.Route, nets []channel.NetworkID, rotation []Kind, ds *Dataset) ([]drivePlan, []testPlan) {
 	gaz := geo.DefaultGazetteer()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var drives []drivePlan
@@ -339,9 +362,9 @@ func planCampaign(cfg Config, routes []*mobility.Route, ds *Dataset) ([]drivePla
 			if offset+dur > duration {
 				break
 			}
-			kind := testRotation[rot%len(testRotation)]
+			kind := rotation[rot%len(rotation)]
 			rot++
-			for _, n := range channel.Networks {
+			for _, n := range nets {
 				tests = append(tests, testPlan{
 					id: testID, drive: len(drives), net: n,
 					kind: kind, start: offset, dur: dur,
@@ -356,26 +379,32 @@ func planCampaign(cfg Config, routes []*mobility.Route, ds *Dataset) ([]drivePla
 	return drives, tests
 }
 
-// modelBuilders wires the per-network channel-model constructors with
-// the same per-network seeds the serial generator used. Execution
-// builds a fresh model per (drive, network) unit of work; because
-// NewModel starts from the seed exactly like Reset() did between
-// drives, the per-drive sample streams are unchanged.
-func modelBuilders(seed int64, cons *leo.Constellation) map[channel.Network]channel.Builder {
-	builders := map[channel.Network]channel.Builder{
-		channel.StarlinkRoam:     leo.ModelBuilder(leo.RoamPlan(), cons, seed+101),
-		channel.StarlinkMobility: leo.ModelBuilder(leo.MobilityPlan(), cons, seed+102),
-	}
-	for _, carrier := range cell.Carriers() {
-		builders[carrier.Network] = cell.ModelBuilder(carrier, seed+103+int64(carrier.Network))
+// modelBuilders resolves each scenario network to its channel-model
+// builder through the catalog. Each spec's BuildFunc derives its model
+// seed from the campaign seed plus the spec's offset — the built-in
+// offsets reproduce the original generator's per-network seeds, so the
+// default campaign is unchanged. Execution builds a fresh model per
+// (drive, network) unit of work; because a fresh model starts its
+// stream from the seed exactly like Reset() did between drives, the
+// per-drive sample streams are unchanged too.
+func modelBuilders(sc *Scenario, nets []channel.NetworkID, seed int64) map[channel.NetworkID]channel.Builder {
+	cat := sc.catalog()
+	builders := make(map[channel.NetworkID]channel.Builder, len(nets))
+	for _, n := range nets {
+		b, err := cat.Builder(n, seed)
+		if err != nil {
+			// Validate ran before planning; reaching this means the
+			// catalog mutated mid-generation.
+			panic(err)
+		}
+		builders[n] = b
 	}
 	return builders
 }
 
 // executeDrives samples every (drive, network) channel observation
 // sequence across the worker pool.
-func executeDrives(plans []drivePlan, builders map[channel.Network]channel.Builder, workers int, reg *obs.Registry) []Drive {
-	nets := channel.Networks
+func executeDrives(plans []drivePlan, nets []channel.NetworkID, builders map[channel.NetworkID]channel.Builder, workers int, reg *obs.Registry) []Drive {
 	sampled := make([][][]channel.Record, len(plans))
 	for i := range sampled {
 		sampled[i] = make([][]channel.Record, len(nets))
@@ -397,7 +426,7 @@ func executeDrives(plans []drivePlan, builders map[channel.Network]channel.Build
 	for i, p := range plans {
 		d := Drive{
 			Route: p.route.Name, State: p.route.State, Fixes: p.fixes,
-			Observed: make(map[channel.Network][]channel.Record, len(nets)),
+			Observed: make(map[channel.NetworkID][]channel.Record, len(nets)),
 		}
 		for ni, n := range nets {
 			d.Observed[n] = sampled[i][ni]
@@ -443,7 +472,7 @@ func lastDist(fixes []mobility.Fix) float64 {
 }
 
 // buildTest evaluates one test window for one device.
-func buildTest(id int, n channel.Network, kind Kind, drive Drive,
+func buildTest(id int, n channel.NetworkID, kind Kind, drive Drive,
 	start, dur time.Duration, rng *rand.Rand) Test {
 
 	recs := window(drive.Observed[n], start, start+dur)
@@ -592,7 +621,7 @@ outer:
 }
 
 // ByNetwork filters on the measured network.
-func ByNetwork(n channel.Network) func(*Test) bool {
+func ByNetwork(n channel.NetworkID) func(*Test) bool {
 	return func(t *Test) bool { return t.Network == n }
 }
 

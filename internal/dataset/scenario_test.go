@@ -1,0 +1,326 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"satcell/internal/cell"
+	"satcell/internal/channel"
+	"satcell/internal/leo"
+	"satcell/internal/mobility"
+	"satcell/internal/networks"
+)
+
+func TestScenarioDefaults(t *testing.T) {
+	sc := DefaultScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("default scenario invalid: %v", err)
+	}
+	nets := sc.networks()
+	if len(nets) != len(channel.Networks) {
+		t.Fatalf("default networks = %v", nets)
+	}
+	for i, n := range channel.Networks {
+		if nets[i] != n {
+			t.Fatalf("default network order %v, want %v", nets, channel.Networks)
+		}
+	}
+	if len(sc.routes()) == 0 || len(sc.rotation()) == 0 {
+		t.Fatal("default scenario resolved empty routes or rotation")
+	}
+	// The nil scenario resolves like the default one.
+	var nilSc *Scenario
+	if got := nilSc.networks(); len(got) != len(nets) {
+		t.Fatalf("nil scenario networks = %v", got)
+	}
+}
+
+func emptyCatalog(t *testing.T) *channel.Catalog {
+	t.Helper()
+	cat, err := channel.NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestScenarioValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+		want string // substring of the error, "" means valid
+	}{
+		{"default", Scenario{}, ""},
+		{"subset", Scenario{Networks: []channel.NetworkID{channel.StarlinkRoam, channel.ATT}}, ""},
+		{"unknown network", Scenario{Networks: []channel.NetworkID{"NOPE"}}, "unknown network"},
+		{"duplicate network", Scenario{Networks: []channel.NetworkID{channel.ATT, channel.ATT}}, "twice"},
+		{"invalid sentinel", Scenario{Networks: []channel.NetworkID{channel.NetworkInvalid}}, "unknown network"},
+		{"empty catalog", Scenario{Catalog: emptyCatalog(t)}, "no networks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestScenarioValidateNoBuilder: identity-only specs (registered without
+// a model factory) must be rejected before generation.
+func TestScenarioValidateNoBuilder(t *testing.T) {
+	cat := networks.Default().Clone()
+	if err := cat.Register(channel.Spec{ID: "GHOST", Name: "Ghost", Class: channel.ClassCellular}); err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Catalog: cat, Networks: []channel.NetworkID{"GHOST"}}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "no model factory") {
+		t.Fatalf("Validate() = %v, want no-model-factory error", err)
+	}
+}
+
+func TestParseNetworksFlag(t *testing.T) {
+	nets, err := ParseNetworks(nil, " RM , MOB,ATT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []channel.NetworkID{channel.StarlinkRoam, channel.StarlinkMobility, channel.ATT}
+	if len(nets) != len(want) {
+		t.Fatalf("nets = %v", nets)
+	}
+	for i := range want {
+		if nets[i] != want[i] {
+			t.Fatalf("nets = %v, want %v", nets, want)
+		}
+	}
+	for _, bad := range []string{"", "   ", "RM,,MOB", "RM,NOPE", "RM,RM", ","} {
+		if _, err := ParseNetworks(nil, bad); err == nil {
+			t.Errorf("ParseNetworks(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseScenarioGrammar(t *testing.T) {
+	routes := mobility.DefaultRoutes()
+	sc, err := ParseScenario(nil, nil,
+		"networks=MOB,ATT; kinds=udp-down,udp-ping ;seed=11;name=demo;routes="+routes[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "demo" || sc.Seed != 11 {
+		t.Fatalf("parsed %+v", sc)
+	}
+	if len(sc.Networks) != 2 || sc.Networks[0] != channel.StarlinkMobility || sc.Networks[1] != channel.ATT {
+		t.Fatalf("networks = %v", sc.Networks)
+	}
+	if len(sc.Kinds) != 2 || sc.Kinds[0] != UDPDown || sc.Kinds[1] != Ping {
+		t.Fatalf("kinds = %v", sc.Kinds)
+	}
+	if len(sc.Routes) != 1 || sc.Routes[0].Name != routes[0].Name {
+		t.Fatalf("routes = %v", sc.Routes)
+	}
+
+	// The empty spec is the default campaign.
+	sc, err = ParseScenario(nil, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.networks()) != len(channel.Networks) {
+		t.Fatalf("empty spec networks = %v", sc.networks())
+	}
+
+	for _, bad := range []string{
+		"bogus=1",             // unknown key
+		"networks",            // not key=value
+		"networks=NOPE",       // unknown id
+		"kinds=warp-drive",    // unknown kind
+		"routes=nowhere",      // unknown route
+		"seed=tuesday",        // not an int
+		"seed=1;seed=2",       // duplicate clause
+		"networks=RM,MOB,RM",  // duplicate id
+		"networks=RM;kinds=,", // empty kind item
+	} {
+		if _, err := ParseScenario(nil, nil, bad); err == nil {
+			t.Errorf("ParseScenario(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("Kind(99)"); err == nil {
+		t.Fatal("ParseKind accepted the invalid-kind formatting")
+	}
+}
+
+// TestGenerateScenarioSubset: a scenario restricted to a network subset
+// must produce a dataset whose drives and tests cover exactly that
+// subset, and the scenario seed must override Config.Seed.
+func TestGenerateScenarioSubset(t *testing.T) {
+	sc := &Scenario{
+		Name:     "subset",
+		Networks: []channel.NetworkID{channel.StarlinkMobility, channel.Verizon},
+		Kinds:    []Kind{UDPDown, Ping},
+		Seed:     99,
+	}
+	ds := Generate(Config{Seed: 7, Scale: 0.005, Scenario: sc})
+	if ds.Seed != 99 {
+		t.Fatalf("Seed = %d, want scenario override 99", ds.Seed)
+	}
+	if ds.Scenario != "subset" {
+		t.Fatalf("Scenario = %q", ds.Scenario)
+	}
+	if len(ds.Networks) != 2 || ds.Networks[0] != channel.StarlinkMobility || ds.Networks[1] != channel.Verizon {
+		t.Fatalf("Networks = %v", ds.Networks)
+	}
+	want := map[channel.NetworkID]bool{channel.StarlinkMobility: true, channel.Verizon: true}
+	for _, d := range ds.Drives {
+		if len(d.Observed) != 2 {
+			t.Fatalf("drive observed %d networks", len(d.Observed))
+		}
+		for n := range d.Observed {
+			if !want[n] {
+				t.Fatalf("drive observed %q", n)
+			}
+		}
+	}
+	for i := range ds.Tests {
+		tst := &ds.Tests[i]
+		if !want[tst.Network] {
+			t.Fatalf("test %d network %q", tst.ID, tst.Network)
+		}
+		if tst.Kind != UDPDown && tst.Kind != Ping {
+			t.Fatalf("test %d kind %v outside scenario rotation", tst.ID, tst.Kind)
+		}
+	}
+}
+
+// TestGenerateCustomNetwork: the acceptance gate — a network registered
+// through the public catalog API alone must generate, with no edits
+// under internal/leo, internal/cell, internal/dataset or internal/core.
+func TestGenerateCustomNetwork(t *testing.T) {
+	cat := networks.Default().Clone()
+	plan := leo.RoamPlan()
+	plan.Network = "SL3"
+	if err := networks.RegisterSatellite(cat, "Starlink Gen3", plan, 2001); err != nil {
+		t.Fatal(err)
+	}
+	carrier := cell.Carriers()[1]
+	carrier.Network = "USC"
+	if err := networks.RegisterCellular(cat, "US Cellular", carrier, 2002); err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scenario{
+		Catalog:  cat,
+		Networks: []channel.NetworkID{channel.StarlinkRoam, "SL3", "USC"},
+		Kinds:    []Kind{UDPDown},
+	}
+	ds := Generate(Config{Seed: 3, Scale: 0.005, Scenario: sc})
+	seen := map[channel.NetworkID]int{}
+	for i := range ds.Tests {
+		seen[ds.Tests[i].Network]++
+	}
+	for _, n := range sc.Networks {
+		if seen[n] == 0 {
+			t.Fatalf("no tests for %q (seen %v)", n, seen)
+		}
+	}
+	// Custom-network streams are independent of the built-in ones with
+	// the same underlying plan: distinct seed offsets.
+	var rm, sl3 *Drive
+	if len(ds.Drives) > 0 {
+		rm, sl3 = &ds.Drives[0], &ds.Drives[0]
+		same := true
+		for i, r := range rm.Observed[channel.StarlinkRoam] {
+			if r.Sample != sl3.Observed["SL3"][i].Sample {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("SL3 stream identical to RM: seed offset not applied")
+		}
+	}
+}
+
+func TestGenerateInvalidScenarioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate accepted an invalid scenario")
+		}
+	}()
+	Generate(Config{Seed: 1, Scale: 0.005, Scenario: &Scenario{
+		Networks: []channel.NetworkID{"NOPE"},
+	}})
+}
+
+// FuzzParseScenario: the -scenario grammar must never panic and must
+// only ever return validated scenarios.
+func FuzzParseScenario(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"networks=RM,MOB",
+		"networks=RM,MOB;kinds=udp-down,udp-ping;seed=7;name=x",
+		"routes=i94-eauclaire;seed=-3",
+		"networks=RM;networks=MOB",
+		"seed=99999999999999999999",
+		"kinds=tcp-down-8p",
+		";;;",
+		"networks=RM,",
+		"name==odd",
+		"networks=\"RM\"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		sc, err := ParseScenario(nil, nil, spec)
+		if err != nil {
+			return
+		}
+		if verr := sc.Validate(); verr != nil {
+			t.Fatalf("ParseScenario(%q) returned invalid scenario: %v", spec, verr)
+		}
+	})
+}
+
+// FuzzParseNetworks: the -networks grammar must never panic; accepted
+// lists must be duplicate-free catalog members.
+func FuzzParseNetworks(f *testing.F) {
+	for _, seed := range []string{"RM", "RM,MOB,ATT,TM,VZ", "", ",", "RM ,MOB", "rm", "RM,RM", "NOPE"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		nets, err := ParseNetworks(nil, spec)
+		if err != nil {
+			return
+		}
+		if len(nets) == 0 {
+			t.Fatalf("ParseNetworks(%q) returned empty list without error", spec)
+		}
+		seen := map[channel.NetworkID]bool{}
+		for _, n := range nets {
+			if seen[n] {
+				t.Fatalf("ParseNetworks(%q) returned duplicate %q", spec, n)
+			}
+			seen[n] = true
+			if _, ok := networks.Default().Spec(n); !ok {
+				t.Fatalf("ParseNetworks(%q) returned unknown %q", spec, n)
+			}
+		}
+	})
+}

@@ -56,7 +56,7 @@ func ModelBuilder(plan Plan, cons *Constellation, seed int64) channel.Builder {
 }
 
 // Network implements channel.Model.
-func (m *Model) Network() channel.Network { return m.plan.Network }
+func (m *Model) Network() channel.NetworkID { return m.plan.Network }
 
 // Reset implements channel.Model.
 func (m *Model) Reset() {
@@ -273,8 +273,15 @@ func (m *Model) clutterProb(env channel.Env) float64 {
 	default:
 		p = 0.03
 	}
-	if m.plan.Network == channel.StarlinkRoam {
-		p = stats.Clamp(p*1.2+0.02, 0, 0.9)
+	// Dish-specific penalty from the plan spec (a Roam-shaped narrow
+	// cone sets >1); mul 0 means the neutral 1, so old Plan literals
+	// without the fields behave unchanged.
+	mul := m.plan.ClutterMul
+	if mul == 0 {
+		mul = 1
+	}
+	if mul != 1 || m.plan.ClutterAdd != 0 {
+		p = stats.Clamp(p*mul+m.plan.ClutterAdd, 0, 0.9)
 	}
 	if env.SpeedKmh < 1 {
 		p *= 0.4 // a parked vehicle sees a quasi-static sky

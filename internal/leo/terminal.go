@@ -7,7 +7,7 @@ import "satcell/internal/channel"
 // designed for in-motion tracking) with Mobility (MOB: in-motion dish
 // with a wider field of view and the highest network priority).
 type Plan struct {
-	Network channel.Network
+	Network channel.NetworkID
 
 	// MinElevationDeg is the lowest satellite elevation the dish can
 	// track while the vehicle is moving. The Mobility dish has a wide
@@ -39,6 +39,15 @@ type Plan struct {
 	// entirely. It exists for the obstruction ablation, which isolates
 	// why Starlink loses in urban areas.
 	ClutterScale float64
+
+	// ClutterMul and ClutterAdd apply a dish-specific penalty to the
+	// area clutter probability: p' = clamp(p*ClutterMul + ClutterAdd).
+	// A narrow-cone dish that re-acquires slowly (Roam) sets a penalty
+	// >1; ClutterMul of 0 means 1 (no penalty), so the zero value is
+	// neutral. These were a hard-coded Roam special case before the
+	// catalog opened the plan set.
+	ClutterMul float64
+	ClutterAdd float64
 }
 
 // RoamPlan returns the Roam (RM) plan parameters.
@@ -51,6 +60,8 @@ func RoamPlan() Plan {
 		ReacquireSeconds: 5,
 		PeakDownMbps:     400,
 		PeakUpMbps:       40,
+		ClutterMul:       1.2,
+		ClutterAdd:       0.02,
 	}
 }
 
@@ -67,9 +78,10 @@ func MobilityPlan() Plan {
 	}
 }
 
-// PlanFor returns the plan parameters for a Starlink network, or false
-// for cellular networks.
-func PlanFor(n channel.Network) (Plan, bool) {
+// PlanFor returns the plan parameters for a built-in Starlink network,
+// or false for anything else. Custom satellite plans live in the
+// network catalog, not here.
+func PlanFor(n channel.NetworkID) (Plan, bool) {
 	switch n {
 	case channel.StarlinkRoam:
 		return RoamPlan(), true

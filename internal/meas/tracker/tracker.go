@@ -18,7 +18,7 @@ import (
 type Record struct {
 	AtMs     int64   `json:"at_ms"`
 	Network  string  `json:"network"`
-	NetType  string  `json:"net_type"` // e.g. "LTE", "5G-low", "starlink"
+	NetType  string  `json:"net_type"` // network class, e.g. "satellite", "cellular"
 	Lat      float64 `json:"lat"`
 	Lon      float64 `json:"lon"`
 	SpeedKmh float64 `json:"speed_kmh"`

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"satcell/internal/channel"
 )
 
 type fakeProvider struct{ fail bool }
@@ -14,8 +16,9 @@ func (f fakeProvider) Info(at time.Duration) (Record, error) {
 		return Record{}, errors.New("modem unavailable")
 	}
 	return Record{
-		Network: "MOB", NetType: "starlink",
-		Lat: 44.1, Lon: -90.2, SpeedKmh: 88,
+		Network: channel.StarlinkMobility.String(),
+		NetType: channel.StarlinkMobility.Class().String(),
+		Lat:     44.1, Lon: -90.2, SpeedKmh: 88,
 		SignalDB: 8.5, Serving: "SL-01-02",
 	}, nil
 }
@@ -32,7 +35,7 @@ func TestSampleRangeAndRecords(t *testing.T) {
 	if recs[3].AtMs != 300 {
 		t.Fatalf("AtMs = %d", recs[3].AtMs)
 	}
-	if recs[0].Network != "MOB" || recs[0].SpeedKmh != 88 {
+	if recs[0].Network != channel.StarlinkMobility.String() || recs[0].SpeedKmh != 88 {
 		t.Fatalf("record contents wrong: %+v", recs[0])
 	}
 }

@@ -1,0 +1,126 @@
+// Package networks wires the channel-model packages (internal/leo,
+// internal/cell) onto the open network catalog (channel.Catalog). The
+// channel package owns the identity half of the built-in specs (id,
+// display name, class, seed offset) but cannot construct models without
+// an import cycle; this package attaches the model factories at init
+// time and provides the spec constructors custom networks register
+// through.
+//
+// Determinism contract: a BuildFunc derives its model seed as
+// campaignSeed + Spec.SeedOffset. The built-in offsets (RM 101, MOB
+// 102, ATT 105, TM 106, VZ 107) reproduce the original generator's
+// per-network seeds exactly, which is what keeps the default campaign
+// bit-identical to the seed dataset. Custom networks should pick
+// offsets well clear of the built-ins (e.g. >= 1000) so their streams
+// stay independent.
+package networks
+
+import (
+	"fmt"
+
+	"satcell/internal/cell"
+	"satcell/internal/channel"
+	"satcell/internal/leo"
+)
+
+func init() {
+	cat := channel.DefaultCatalog()
+	attach := func(id channel.NetworkID, b channel.BuildFunc) {
+		if err := cat.SetBuilder(id, b); err != nil {
+			panic(err)
+		}
+	}
+	attach(channel.StarlinkRoam, satelliteBuild(leo.RoamPlan()))
+	attach(channel.StarlinkMobility, satelliteBuild(leo.MobilityPlan()))
+	for _, carrier := range cell.Carriers() {
+		attach(carrier.Network, cellularBuild(carrier))
+	}
+}
+
+// Default returns the process-wide catalog with every built-in model
+// factory attached. It exists so generation code can depend on this
+// package (forcing the init wiring) instead of remembering to.
+func Default() *channel.Catalog { return channel.DefaultCatalog() }
+
+// satelliteBuild returns the campaign factory for one satellite plan.
+// Each campaign gets its own constellation instance; the constellation
+// is pure deterministic geometry, so separate instances produce
+// identical views (the original generator shared one for memory only).
+func satelliteBuild(plan leo.Plan) channel.BuildFunc {
+	offset := seedOffsetOf(plan.Network)
+	return func(campaignSeed int64) channel.Builder {
+		cons := leo.NewConstellation(leo.StarlinkShell())
+		return leo.ModelBuilder(plan, cons, campaignSeed+offset)
+	}
+}
+
+// cellularBuild returns the campaign factory for one carrier.
+func cellularBuild(carrier cell.Carrier) channel.BuildFunc {
+	offset := seedOffsetOf(carrier.Network)
+	return func(campaignSeed int64) channel.Builder {
+		return cell.ModelBuilder(carrier, campaignSeed+offset)
+	}
+}
+
+// seedOffsetOf reads the seed offset a spec registered with; factories
+// built before registration (the built-ins are registered first, so
+// this only defends against misuse) fall back to 0.
+func seedOffsetOf(id channel.NetworkID) int64 {
+	if spec, ok := channel.DefaultCatalog().Spec(id); ok {
+		return spec.SeedOffset
+	}
+	return 0
+}
+
+// SatelliteSpec builds a catalog spec for a custom satellite plan. The
+// plan's Network field is the spec id; seedOffset follows the package
+// determinism contract.
+func SatelliteSpec(name string, plan leo.Plan, seedOffset int64) channel.Spec {
+	return channel.Spec{
+		ID:         plan.Network,
+		Name:       name,
+		Class:      channel.ClassSatellite,
+		SeedOffset: seedOffset,
+		Build: func(campaignSeed int64) channel.Builder {
+			cons := leo.NewConstellation(leo.StarlinkShell())
+			return leo.ModelBuilder(plan, cons, campaignSeed+seedOffset)
+		},
+	}
+}
+
+// CellularSpec builds a catalog spec for a custom cellular carrier.
+func CellularSpec(name string, carrier cell.Carrier, seedOffset int64) channel.Spec {
+	return channel.Spec{
+		ID:         carrier.Network,
+		Name:       name,
+		Class:      channel.ClassCellular,
+		SeedOffset: seedOffset,
+		Build: func(campaignSeed int64) channel.Builder {
+			return cell.ModelBuilder(carrier, campaignSeed+seedOffset)
+		},
+	}
+}
+
+// RegisterSatellite registers a custom satellite plan in cat (nil means
+// the default catalog).
+func RegisterSatellite(cat *channel.Catalog, name string, plan leo.Plan, seedOffset int64) error {
+	if !plan.Network.Valid() {
+		return fmt.Errorf("networks: satellite plan needs a Network id")
+	}
+	if cat == nil {
+		cat = channel.DefaultCatalog()
+	}
+	return cat.Register(SatelliteSpec(name, plan, seedOffset))
+}
+
+// RegisterCellular registers a custom cellular carrier in cat (nil
+// means the default catalog).
+func RegisterCellular(cat *channel.Catalog, name string, carrier cell.Carrier, seedOffset int64) error {
+	if !carrier.Network.Valid() {
+		return fmt.Errorf("networks: carrier needs a Network id")
+	}
+	if cat == nil {
+		cat = channel.DefaultCatalog()
+	}
+	return cat.Register(CellularSpec(name, carrier, seedOffset))
+}

@@ -3,6 +3,16 @@ package report
 import (
 	"strings"
 	"testing"
+
+	"satcell/internal/channel"
+)
+
+// Chart labels in these tests are real network ids pulled from the
+// catalog constants, matching how the analyses label their series.
+var (
+	labelMOB = channel.StarlinkMobility.String()
+	labelVZ  = channel.Verizon.String()
+	labelATT = channel.ATT.String()
 )
 
 func TestCanvasSetAndBounds(t *testing.T) {
@@ -27,10 +37,10 @@ func TestCanvasSetAndBounds(t *testing.T) {
 
 func TestLinePlotBasics(t *testing.T) {
 	out := LinePlot("cdf", "Mbps", "P", 40, 10, []Line{
-		{Label: "MOB", X: []float64{0, 50, 100}, Y: []float64{0, 0.5, 1}},
-		{Label: "VZ", X: []float64{0, 50, 100}, Y: []float64{0.2, 0.6, 1}},
+		{Label: labelMOB, X: []float64{0, 50, 100}, Y: []float64{0, 0.5, 1}},
+		{Label: labelVZ, X: []float64{0, 50, 100}, Y: []float64{0.2, 0.6, 1}},
 	})
-	for _, want := range []string{"cdf", "MOB", "VZ", "x: Mbps", "*", "o"} {
+	for _, want := range []string{"cdf", labelMOB, labelVZ, "x: Mbps", "*", "o"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("plot missing %q:\n%s", want, out)
 		}
@@ -54,8 +64,8 @@ func TestLinePlotEmptyAndDegenerate(t *testing.T) {
 
 func TestBarChart(t *testing.T) {
 	out := BarChart("throughput", "Mbps", 20, []Bar{
-		{Label: "MOB", Value: 200},
-		{Label: "ATT", Value: 50},
+		{Label: labelMOB, Value: 200},
+		{Label: labelATT, Value: 50},
 		{Label: "zero", Value: 0},
 	})
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
@@ -77,10 +87,10 @@ func TestBarChart(t *testing.T) {
 
 func TestStackedChart(t *testing.T) {
 	out := StackedChart("coverage", []string{"very-low", "low", "medium", "high"}, 40, []Stacked{
-		{Label: "MOB", Shares: []float64{0.1, 0.1, 0.2, 0.6}},
-		{Label: "ATT", Shares: []float64{0.4, 0.2, 0.2, 0.2}},
+		{Label: labelMOB, Shares: []float64{0.1, 0.1, 0.2, 0.6}},
+		{Label: labelATT, Shares: []float64{0.4, 0.2, 0.2, 0.2}},
 	})
-	for _, want := range []string{"MOB", "ATT", "60.0%", "layers:", "high"} {
+	for _, want := range []string{labelMOB, labelATT, "60.0%", "layers:", "high"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stacked chart missing %q:\n%s", want, out)
 		}

@@ -161,13 +161,15 @@ func blankRecord(rec []string) bool {
 }
 
 // parseRecord validates and parses one data record (network + sample).
-func parseRecord(rec []string, wantFields int) (channel.Sample, channel.Network, error) {
+// The network column resolves against the default catalog, so traces of
+// custom registered networks load like the built-in five.
+func parseRecord(rec []string, wantFields int) (channel.Sample, channel.NetworkID, error) {
 	if len(rec) != wantFields {
-		return channel.Sample{}, 0, fmt.Errorf("%d fields, want %d", len(rec), wantFields)
+		return channel.Sample{}, channel.NetworkInvalid, fmt.Errorf("%d fields, want %d", len(rec), wantFields)
 	}
 	n, err := channel.ParseNetwork(strings.TrimSpace(rec[0]))
 	if err != nil {
-		return channel.Sample{}, 0, err
+		return channel.Sample{}, channel.NetworkInvalid, err
 	}
 	s, err := parseSample(rec[1:])
 	return s, n, err
@@ -252,17 +254,17 @@ func WriteMahimahi(w io.Writer, tr *channel.Trace, uplink bool) error {
 // "trace:"-prefixed error naming the line. Blank and whitespace-only
 // lines (including CRLF artifacts) are tolerated; a file with no
 // opportunities at all is an error.
-func ReadMahimahi(r io.Reader, network channel.Network) (*channel.Trace, error) {
+func ReadMahimahi(r io.Reader, network channel.NetworkID) (*channel.Trace, error) {
 	return readMahimahi(r, network, false, nil)
 }
 
 // ReadMahimahiLenient parses like ReadMahimahi but skips malformed lines
 // instead of failing, reporting each skip to onSkip (if non-nil).
-func ReadMahimahiLenient(r io.Reader, network channel.Network, onSkip func(line int, err error)) (*channel.Trace, error) {
+func ReadMahimahiLenient(r io.Reader, network channel.NetworkID, onSkip func(line int, err error)) (*channel.Trace, error) {
 	return readMahimahi(r, network, true, onSkip)
 }
 
-func readMahimahi(r io.Reader, network channel.Network, lenient bool, onSkip func(int, error)) (*channel.Trace, error) {
+func readMahimahi(r io.Reader, network channel.NetworkID, lenient bool, onSkip func(int, error)) (*channel.Trace, error) {
 	sc := bufio.NewScanner(stripBOM(r))
 	counts := make(map[int64]int64)
 	var maxSec, total int64

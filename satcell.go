@@ -23,9 +23,12 @@ package satcell
 import (
 	"io"
 
+	"satcell/internal/cell"
 	"satcell/internal/channel"
 	"satcell/internal/core"
 	"satcell/internal/dataset"
+	"satcell/internal/leo"
+	"satcell/internal/networks"
 	"satcell/internal/obs"
 	"satcell/internal/trace"
 )
@@ -40,8 +43,27 @@ type (
 	Figure = core.Figure
 	// ExperimentRow is one line of the paper-vs-measured record.
 	ExperimentRow = core.ExperimentRow
-	// Network identifies one of the five measured services.
-	Network = channel.Network
+	// NetworkID identifies one measured service: a catalog id like
+	// "RM" or "MOB", open to custom registrations.
+	NetworkID = channel.NetworkID
+	// Network is the historical name of NetworkID.
+	//
+	// Deprecated: use NetworkID.
+	Network = channel.NetworkID
+	// Catalog is an ordered registry of network specs; DefaultCatalog
+	// holds the paper's five built-ins plus custom registrations.
+	Catalog = channel.Catalog
+	// NetworkSpec describes one catalog entry (id, display name,
+	// class, seed offset, model factory).
+	NetworkSpec = channel.Spec
+	// Scenario declares a measurement campaign: network subset, route
+	// mix, test matrix and seed. The zero value is the paper's campaign.
+	Scenario = dataset.Scenario
+	// SatellitePlan parameterizes a Starlink-style service plan for
+	// custom satellite networks.
+	SatellitePlan = leo.Plan
+	// Carrier parameterizes a cellular operator for custom networks.
+	Carrier = cell.Carrier
 	// Trace is a time series of channel conditions for one network.
 	Trace = channel.Trace
 )
@@ -54,6 +76,51 @@ const (
 	TMobile          = channel.TMobile
 	Verizon          = channel.Verizon
 )
+
+// DefaultCatalog returns the process-wide network catalog: the built-in
+// five with their model factories attached, plus everything registered
+// through RegisterSatellitePlan / RegisterCellularCarrier. Clone it to
+// experiment without mutating global state.
+func DefaultCatalog() *Catalog { return networks.Default() }
+
+// RoamPlan returns the built-in Starlink Roam plan parameters, a
+// convenient base for custom satellite plans.
+func RoamPlan() SatellitePlan { return leo.RoamPlan() }
+
+// MobilityPlan returns the built-in Starlink Mobility plan parameters.
+func MobilityPlan() SatellitePlan { return leo.MobilityPlan() }
+
+// Carriers returns the built-in cellular carrier parameter sets, a
+// convenient base for custom carriers.
+func Carriers() []Carrier { return cell.Carriers() }
+
+// RegisterSatellitePlan registers a custom satellite network in cat
+// (nil means the default catalog). The plan's Network field is the new
+// catalog id; seedOffset separates the network's random streams from
+// every other network of a campaign — pick a value well clear of the
+// built-ins (>= 1000).
+func RegisterSatellitePlan(cat *Catalog, name string, plan SatellitePlan, seedOffset int64) error {
+	return networks.RegisterSatellite(cat, name, plan, seedOffset)
+}
+
+// RegisterCellularCarrier registers a custom cellular network in cat
+// (nil means the default catalog).
+func RegisterCellularCarrier(cat *Catalog, name string, carrier Carrier, seedOffset int64) error {
+	return networks.RegisterCellular(cat, name, carrier, seedOffset)
+}
+
+// ParseNetworks parses a comma-separated network-id list ("RM,MOB")
+// against cat (nil means the default catalog).
+func ParseNetworks(cat *Catalog, spec string) ([]NetworkID, error) {
+	return dataset.ParseNetworks(cat, spec)
+}
+
+// ParseScenario parses the declarative scenario grammar
+// ("networks=RM,MOB;kinds=udp-down;seed=7;name=x") against cat (nil
+// means the default catalog). The returned scenario is validated.
+func ParseScenario(cat *Catalog, spec string) (*Scenario, error) {
+	return dataset.ParseScenario(cat, nil, spec)
+}
 
 // World is a reproducible instance of the study: everything derives
 // deterministically from its seed.
@@ -69,6 +136,11 @@ type DatasetOptions struct {
 	// Scale scales the campaign: 1.0 reproduces the paper's ~3,800 km
 	// and ~1,239 tests; the default 0.1 generates a tenth of that.
 	Scale float64
+	// Scenario declares the campaign (network subset, routes, test
+	// matrix, seed). Nil runs the paper's default campaign. Invalid
+	// scenarios make GenerateDataset panic; validate user input with
+	// Scenario.Validate (ParseScenario output is already validated).
+	Scenario *Scenario
 	// Workers bounds the goroutines simulating drives and evaluating
 	// tests; 0 (the default) uses all available cores. The generated
 	// dataset is bit-identical for every worker count.
@@ -86,7 +158,8 @@ func (w *World) GenerateDataset(opts DatasetOptions) *Dataset {
 		opts.Scale = 0.1
 	}
 	return dataset.Generate(dataset.Config{
-		Seed: w.seed, Scale: opts.Scale, Workers: opts.Workers, Metrics: opts.Metrics,
+		Seed: w.seed, Scale: opts.Scale, Scenario: opts.Scenario,
+		Workers: opts.Workers, Metrics: opts.Metrics,
 	})
 }
 
@@ -97,6 +170,9 @@ type FigureOptions struct {
 	MultipathWindowSeconds int
 	// MultipathWindows is how many aligned windows to replay (default 3).
 	MultipathWindows int
+	// Catalog classifies the dataset's networks (nil means the default
+	// catalog); pass the scenario's catalog when it was a clone.
+	Catalog *Catalog
 }
 
 // Figures regenerates every figure of the paper keyed by ID ("fig1",
@@ -106,13 +182,14 @@ func (w *World) Figures(ds *Dataset, opts FigureOptions) map[string]*Figure {
 		WindowSeconds: opts.MultipathWindowSeconds,
 		Windows:       opts.MultipathWindows,
 	}
-	return core.AllFigures(ds, mp)
+	return core.AllFiguresCatalog(ds, mp, opts.Catalog)
 }
 
 // Figure regenerates a single figure by ID (cheaper than Figures when
 // only one is needed; fig10/fig11 still run packet-level replays).
 func (w *World) Figure(ds *Dataset, id string, opts FigureOptions) *Figure {
 	a := core.NewAnalyzer(ds)
+	a.Catalog = opts.Catalog
 	mp := core.MultipathConfig{
 		WindowSeconds: opts.MultipathWindowSeconds,
 		Windows:       opts.MultipathWindows,
