@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race chaos bench fsck-suite obs-suite scenario-suite
+.PHONY: check build vet fmt test race chaos bench bench-json fsck-suite obs-suite scenario-suite streaming-suite
 
 check: build vet fmt test race
 
@@ -74,5 +74,24 @@ scenario-suite:
 	$(GO) test -v -count=1 -run 'Scenario|ParseNetworks|ParseKind|Fuzz|GenerateCustomNetwork' \
 		./internal/dataset/
 
+# The streaming suite locks the sharded analysis pipeline: sketch/
+# moments/histogram merge laws, the store scan layer (shard naming,
+# MANIFEST-order listing, incremental readers), golden byte-equivalence
+# against the in-memory analyzer at workers=1,2,4,8, store-scan
+# determinism across worker counts and the 10x-corpus memory bound —
+# all under the race detector.
+streaming-suite:
+	$(GO) test -race -v -count=1 -run 'Sketch|Moments|Histogram' ./internal/stats/
+	$(GO) test -race -v -count=1 -run 'Shard|Scan' ./internal/store/
+	$(GO) test -race -v -count=1 -timeout 30m -run 'Stream|Fig9Columns' ./internal/core/
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-json runs the streaming worker sweep once per count and emits
+# BENCH_streaming.json (workers, ns/op, rows/s, speedup vs workers=1,
+# peak live heap, shard/row counters) for CI artifacts and the
+# EXPERIMENTS.md scaling table.
+bench-json:
+	BENCH_STREAMING_JSON=BENCH_streaming.json \
+		$(GO) test -run TestStreamingBenchJSON -v -count=1 -timeout 30m .

@@ -33,7 +33,7 @@ func main() {
 		expOnly  = flag.Bool("experiments", false, "print only the paper-vs-measured table")
 		mpWin    = flag.Int("mp-window", 300, "MPTCP replay window (seconds)")
 		mpN      = flag.Int("mp-windows", 3, "MPTCP replay window count")
-		workers  = flag.Int("workers", 0, "generation worker goroutines (0 = all cores; output is identical for any value)")
+		workers  = flag.Int("workers", 0, "worker goroutines for generation and the streaming analysis phase (0 = all generation cores with the classic in-memory analyzer; output is identical for any value)")
 		outDir   = flag.String("out", "", "also write figure data as manifested CSV artifacts into this directory")
 		netList  = flag.String("networks", "", "comma-separated network subset to measure (default: every catalog network)")
 		scenario = flag.String("scenario", "", "scenario spec, e.g. networks=RM,MOB;kinds=udp-down;seed=7 (overrides -networks)")
@@ -47,7 +47,7 @@ func main() {
 	world := satcell.NewWorld(*seed)
 	fmt.Fprintf(os.Stderr, "generating dataset (scale %.2f)...\n", *scale)
 	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale, Scenario: sc, Workers: *workers})
-	opts := satcell.FigureOptions{MultipathWindowSeconds: *mpWin, MultipathWindows: *mpN}
+	opts := satcell.FigureOptions{MultipathWindowSeconds: *mpWin, MultipathWindows: *mpN, Workers: *workers}
 
 	if *only != "" {
 		f := world.Figure(ds, *only, opts)

@@ -14,8 +14,16 @@
 // (mpshell -events-out) as a per-second timeline: relay traffic,
 // scheduled fault windows, session markers.
 //
+// The -stream mode analyses a whole dataset directory (trace shards +
+// tests.csv) through the sharded streaming pipeline: shards are scanned
+// in MANIFEST order by -workers goroutines, partial aggregates merge in
+// a fixed order, and the full figure set prints without the directory
+// ever being resident in memory at once. Output is identical for every
+// -workers value.
+//
 //	drivegen -scale 0.1 -out data
 //	satcell-analyze -tests data/tests.csv
+//	satcell-analyze -stream data -workers 4
 //	satcell-analyze -fsck data
 //	satcell-analyze -events run.jsonl
 package main
@@ -38,11 +46,13 @@ var logger = obs.NewLogger("satcell-analyze")
 
 func main() {
 	var (
-		path   = flag.String("tests", "data/tests.csv", "tests.csv produced by drivegen (or a field campaign)")
-		kind   = flag.String("kind", "udp-down", "test kind to analyse")
-		strict = flag.Bool("strict", false, "abort on the first malformed row instead of skip-and-count")
-		fsck   = flag.String("fsck", "", "verify a dataset directory (manifest, checksums, schema, timestamps) and exit")
-		events = flag.String("events", "", "render a JSONL event trace (mpshell -events-out) as a timeline and exit")
+		path    = flag.String("tests", "data/tests.csv", "tests.csv produced by drivegen (or a field campaign)")
+		kind    = flag.String("kind", "udp-down", "test kind to analyse")
+		strict  = flag.Bool("strict", false, "abort on the first malformed row instead of skip-and-count")
+		fsck    = flag.String("fsck", "", "verify a dataset directory (manifest, checksums, schema, timestamps) and exit")
+		events  = flag.String("events", "", "render a JSONL event trace (mpshell -events-out) as a timeline and exit")
+		stream  = flag.String("stream", "", "stream a dataset directory (drivegen -out) through the sharded figure pipeline and exit")
+		workers = flag.Int("workers", 1, "worker goroutines for -stream (figures are identical for any value)")
 	)
 	flag.Parse()
 
@@ -58,6 +68,10 @@ func main() {
 	mode := store.Lenient
 	if *strict {
 		mode = store.Strict
+	}
+	if *stream != "" {
+		runStream(*stream, mode, *workers)
+		return
 	}
 	rows, rep, err := store.LoadTests(*path, mode)
 	if err != nil {
@@ -180,6 +194,30 @@ func analyzedNetworks(rows []store.TestRow) []string {
 		}
 	}
 	return out
+}
+
+// runStream analyses a dataset directory with the sharded streaming
+// pipeline and prints the full figure set plus the scan's data-health
+// line.
+func runStream(dir string, mode store.Mode, workers int) {
+	src, err := core.OpenStoreSource(dir, mode)
+	if err != nil {
+		logger.Fatalf("stream: %v", err)
+	}
+	sa, err := core.StreamAnalyze(src, core.StreamOptions{Workers: workers})
+	if err != nil {
+		logger.Fatalf("stream: %v", err)
+	}
+	figs := sa.Figures()
+	for _, id := range core.FigureIDs(figs) {
+		fmt.Print(figs[id].Render())
+		fmt.Println()
+	}
+	fmt.Printf("streamed %d rows (%d skipped) with %d workers\n",
+		src.Report.Rows, src.Report.Skipped, workers)
+	for _, re := range src.Report.Errors {
+		fmt.Printf("  skipped %s:%d: %s\n", re.File, re.Line, re.Err)
+	}
 }
 
 // runFsck audits a dataset directory and exits non-zero on findings.

@@ -1,13 +1,10 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 
 	"satcell/internal/channel"
 	"satcell/internal/dataset"
-	"satcell/internal/geo"
-	"satcell/internal/leo"
 	"satcell/internal/stats"
 )
 
@@ -81,27 +78,6 @@ func (a *Analyzer) has(n channel.NetworkID) bool {
 	return false
 }
 
-// orderPreferred returns the dataset's networks with the paper's
-// preferred ids (those present) first and every remaining network in
-// campaign order after them — so default-scenario figures keep the
-// paper's series order and custom networks still appear.
-func (a *Analyzer) orderPreferred(preferred ...channel.NetworkID) []channel.NetworkID {
-	var out []channel.NetworkID
-	taken := make(map[channel.NetworkID]bool, len(preferred))
-	for _, n := range preferred {
-		if a.has(n) {
-			out = append(out, n)
-			taken[n] = true
-		}
-	}
-	for _, n := range a.Networks() {
-		if !taken[n] {
-			out = append(out, n)
-		}
-	}
-	return out
-}
-
 // perSecond pools the per-second goodput samples of the given tests.
 func perSecond(tests []*dataset.Test) []float64 {
 	total := 0
@@ -125,299 +101,37 @@ func cdfSeries(label string, c *stats.CDF) Series {
 
 // Figure1 reproduces the motivation timeline: download throughput of
 // MOB, VZ, TM and ATT over one continuous mixed-area drive.
-func (a *Analyzer) Figure1() *Figure {
-	f := &Figure{
-		ID: "fig1", Title: "Download throughput of different networks over one drive",
-		Kind: TimeSeries, XLabel: "time (s)", YLabel: "throughput (Mbps)",
-	}
-	// Pick the longest drive for the most interesting timeline.
-	best := 0
-	for i := range a.DS.Drives {
-		if len(a.DS.Drives[i].Fixes) > len(a.DS.Drives[best].Fixes) {
-			best = i
-		}
-	}
-	d := &a.DS.Drives[best]
-	for _, n := range a.figure1Networks() {
-		tr := d.Trace(n)
-		s := Series{Label: n.String()}
-		for _, smp := range tr.Samples {
-			s.X = append(s.X, smp.At.Seconds())
-			s.Y = append(s.Y, smp.DownMbps)
-		}
-		f.Series = append(f.Series, s)
-		f.addKPI("mean_"+n.String(), stats.Mean(s.Y))
-	}
-	f.Notes = append(f.Notes, fmt.Sprintf("drive %s (%s), %d s", d.Route, d.State, len(d.Fixes)))
-	return f
-}
-
-// figure1Networks picks the motivation timeline's series: the paper's
-// four (MOB and the carriers) when present, every measured network for
-// scenarios that share none of them.
-func (a *Analyzer) figure1Networks() []channel.NetworkID {
-	var out []channel.NetworkID
-	for _, n := range []channel.NetworkID{channel.StarlinkMobility, channel.Verizon, channel.TMobile, channel.ATT} {
-		if a.has(n) {
-			out = append(out, n)
-		}
-	}
-	if len(out) == 0 {
-		return a.Networks()
-	}
-	return out
-}
+func (a *Analyzer) Figure1() *Figure { return buildFigure1(a) }
 
 // Figure3a reproduces the TCP-vs-UDP downlink CDFs for Starlink
 // Mobility vs the pooled cellular carriers.
-func (a *Analyzer) Figure3a() *Figure {
-	f := &Figure{
-		ID: "fig3a", Title: "TCP vs UDP downlink throughput CDFs",
-		Kind: CDF, XLabel: "throughput (Mbps)", YLabel: "CDF",
-	}
-	mobTCP := a.PerSecond(channel.StarlinkMobility, dataset.TCPDown)
-	mobUDP := a.PerSecond(channel.StarlinkMobility, dataset.UDPDown)
-	var cellTCP, cellUDP []float64
-	for _, n := range a.Cellulars() {
-		cellTCP = append(cellTCP, a.PerSecond(n, dataset.TCPDown)...)
-		cellUDP = append(cellUDP, a.PerSecond(n, dataset.UDPDown)...)
-	}
-	f.Series = []Series{
-		cdfSeries("MOB-TCP", stats.NewCDF(mobTCP)),
-		cdfSeries("Cellular-TCP", stats.NewCDF(cellTCP)),
-		cdfSeries("MOB-UDP", stats.NewCDF(mobUDP)),
-		cdfSeries("Cellular-UDP", stats.NewCDF(cellUDP)),
-	}
-	f.addKPI("mob_udp_mean_mbps", stats.Mean(mobUDP))
-	f.addKPI("mob_tcp_mean_mbps", stats.Mean(mobTCP))
-	f.addKPI("mob_udp_tcp_ratio", safeRatio(stats.Mean(mobUDP), stats.Mean(mobTCP)))
-	f.addKPI("cell_udp_mean_mbps", stats.Mean(cellUDP))
-	f.addKPI("cell_tcp_mean_mbps", stats.Mean(cellTCP))
-	f.addKPI("cell_udp_tcp_ratio", safeRatio(stats.Mean(cellUDP), stats.Mean(cellTCP)))
-	return f
-}
+func (a *Analyzer) Figure3a() *Figure { return buildFigure3a(a) }
 
 // Figure3b reproduces the Roam-vs-Mobility UDP downlink comparison.
-func (a *Analyzer) Figure3b() *Figure {
-	f := &Figure{
-		ID: "fig3b", Title: "Roam vs Mobility UDP downlink throughput CDFs",
-		Kind: CDF, XLabel: "throughput (Mbps)", YLabel: "CDF",
-	}
-	rm := a.PerSecond(channel.StarlinkRoam, dataset.UDPDown)
-	mob := a.PerSecond(channel.StarlinkMobility, dataset.UDPDown)
-	rmC, mobC := stats.NewCDF(rm), stats.NewCDF(mob)
-	f.Series = []Series{cdfSeries("RM", rmC), cdfSeries("MOB", mobC)}
-	f.addKPI("mob_median_mbps", mobC.Median())
-	f.addKPI("mob_mean_mbps", stats.Mean(mob))
-	f.addKPI("rm_median_mbps", rmC.Median())
-	f.addKPI("rm_mean_mbps", stats.Mean(rm))
-	f.addKPI("rm_p75_mbps", rmC.Quantile(0.75))
-	return f
-}
+func (a *Analyzer) Figure3b() *Figure { return buildFigure3b(a) }
 
 // Figure3c reproduces the Starlink uplink/downlink asymmetry.
-func (a *Analyzer) Figure3c() *Figure {
-	f := &Figure{
-		ID: "fig3c", Title: "Starlink uplink vs downlink UDP throughput CDFs",
-		Kind: CDF, XLabel: "throughput (Mbps)", YLabel: "CDF",
-	}
-	down := a.PerSecond(channel.StarlinkMobility, dataset.UDPDown)
-	up := a.PerSecond(channel.StarlinkMobility, dataset.UDPUp)
-	f.Series = []Series{cdfSeries("Uplink", stats.NewCDF(up)), cdfSeries("Downlink", stats.NewCDF(down))}
-	f.addKPI("down_mean_mbps", stats.Mean(down))
-	f.addKPI("up_mean_mbps", stats.Mean(up))
-	f.addKPI("down_up_ratio", safeRatio(stats.Mean(down), stats.Mean(up)))
-	return f
-}
+func (a *Analyzer) Figure3c() *Figure { return buildFigure3c(a) }
 
 // Figure4 reproduces the UDP-Ping latency CDFs of all five networks.
-func (a *Analyzer) Figure4() *Figure {
-	f := &Figure{
-		ID: "fig4", Title: "UDP-Ping round-trip latency CDFs",
-		Kind: CDF, XLabel: "RTT (ms)", YLabel: "CDF",
-	}
-	for _, n := range a.Networks() {
-		var rtts []float64
-		for _, t := range a.Tests(n, dataset.Ping) {
-			rtts = append(rtts, t.RTTsMs...)
-		}
-		c := stats.NewCDF(rtts)
-		f.Series = append(f.Series, cdfSeries(n.String(), c))
-		f.addKPI("median_ms_"+n.String(), c.Median())
-		f.addKPI("p90_ms_"+n.String(), c.Quantile(0.9))
-	}
-	return f
-}
+func (a *Analyzer) Figure4() *Figure { return buildFigure4(a) }
 
 // Figure5 reproduces the TCP retransmission-rate comparison (up and
 // down) across all networks.
-func (a *Analyzer) Figure5() *Figure {
-	f := &Figure{
-		ID: "fig5", Title: "TCP retransmission rate per network",
-		Kind: Bars, XLabel: "network", YLabel: "retransmission fraction",
-	}
-	downS := Series{Label: "downlink"}
-	upS := Series{Label: "uplink"}
-	for i, n := range a.Networks() {
-		down := meanRetrans(a.Tests(n, dataset.TCPDown))
-		up := meanRetrans(a.Tests(n, dataset.TCPUp))
-		downS.X = append(downS.X, float64(i))
-		downS.Y = append(downS.Y, down)
-		upS.X = append(upS.X, float64(i))
-		upS.Y = append(upS.Y, up)
-		f.addKPI("retrans_down_"+n.String(), down)
-		f.addKPI("retrans_up_"+n.String(), up)
-	}
-	f.Series = []Series{downS, upS}
-	return f
-}
-
-func meanRetrans(tests []*dataset.Test) float64 {
-	if len(tests) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, t := range tests {
-		sum += t.RetransRate
-	}
-	return sum / float64(len(tests))
-}
+func (a *Analyzer) Figure5() *Figure { return buildFigure5(a) }
 
 // Figure6 reproduces the speed-impact analysis: mean throughput per
 // 10 km/h bucket, rural samples only, for MOB and the carriers.
-func (a *Analyzer) Figure6() *Figure {
-	f := &Figure{
-		ID: "fig6", Title: "Throughput vs moving speed (rural only)",
-		Kind: Bars, XLabel: "speed bucket (km/h)", YLabel: "mean throughput (Mbps)",
-	}
-	for _, n := range a.orderPreferred(channel.StarlinkMobility, channel.StarlinkRoam, channel.ATT, channel.TMobile, channel.Verizon) {
-		buckets := stats.NewBucketed()
-		for _, d := range a.DS.Drives {
-			for _, r := range d.Observed[n] {
-				if r.Env.Area != geo.Rural || r.Env.SpeedKmh < 1 {
-					continue
-				}
-				b := int(r.Env.SpeedKmh) / 10 * 10
-				buckets.Add(fmt.Sprintf("%02d", b), r.Sample.DownMbps)
-			}
-		}
-		s := Series{Label: n.String()}
-		var devMax, overall float64
-		var all []float64
-		for _, key := range buckets.Keys() {
-			vals := buckets.Values(key)
-			if len(vals) < 30 {
-				continue // too few samples for a stable bucket mean
-			}
-			var b float64
-			fmt.Sscanf(key, "%f", &b)
-			s.X = append(s.X, b)
-			s.Y = append(s.Y, stats.Mean(vals))
-			all = append(all, vals...)
-		}
-		overall = stats.Mean(all)
-		for _, y := range s.Y {
-			if dev := absFloat(y-overall) / overall; dev > devMax {
-				devMax = dev
-			}
-		}
-		f.Series = append(f.Series, s)
-		f.addKPI("speed_dev_"+n.String(), devMax)
-	}
-	return f
-}
+func (a *Analyzer) Figure6() *Figure { return buildFigure6(a) }
 
 // Figure7 reproduces the TCP-parallelism improvement: throughput gain
 // of 4 and 8 parallel connections over a single connection, for
 // Starlink Roam vs the pooled cellular carriers.
-func (a *Analyzer) Figure7() *Figure {
-	f := &Figure{
-		ID: "fig7", Title: "Downlink throughput improvement from TCP parallelism",
-		Kind: Bars, XLabel: "scheme", YLabel: "improvement (%)",
-	}
-	// For an apples-to-apples comparison the 1/4/8-parallel transfers
-	// are evaluated over the *same* test windows (the paper ran its
-	// parallelism schemes back-to-back on the same road segments).
-	gains := func(tests []*dataset.Test) (g4, g8 float64) {
-		var m1, m4, m8 float64
-		for _, t := range tests {
-			tr := testTrace(t)
-			m1 += dataset.FluidTCP{Flows: 1}.Run(tr, rngFor(a.Seed, t.ID, 1)).MeanGoodputMbps
-			m4 += dataset.FluidTCP{Flows: 4}.Run(tr, rngFor(a.Seed, t.ID, 4)).MeanGoodputMbps
-			m8 += dataset.FluidTCP{Flows: 8}.Run(tr, rngFor(a.Seed, t.ID, 8)).MeanGoodputMbps
-		}
-		if m1 <= 0 {
-			return 0, 0
-		}
-		return (m4/m1 - 1) * 100, (m8/m1 - 1) * 100
-	}
-	rm1 := a.Tests(channel.StarlinkRoam, dataset.TCPDown, dataset.TCPDown4P, dataset.TCPDown8P)
-	var c1 []*dataset.Test
-	for _, n := range a.Cellulars() {
-		c1 = append(c1, a.Tests(n, dataset.TCPDown, dataset.TCPDown4P, dataset.TCPDown8P)...)
-	}
-	rm4g, rm8g := gains(rm1)
-	c4g, c8g := gains(c1)
-	f.Series = []Series{
-		{Label: "Roam", X: []float64{4, 8}, Y: []float64{rm4g, rm8g}},
-		{Label: "Cellular", X: []float64{4, 8}, Y: []float64{c4g, c8g}},
-	}
-	f.addKPI("rm_4p_gain_pct", rm4g)
-	f.addKPI("rm_8p_gain_pct", rm8g)
-	f.addKPI("cell_4p_gain_pct", c4g)
-	f.addKPI("cell_8p_gain_pct", c8g)
-	return f
-}
+func (a *Analyzer) Figure7() *Figure { return buildFigure7(a) }
 
 // Figure8 reproduces the area-type analysis: UDP downlink throughput
 // distribution per area type for pooled cellular vs Starlink Mobility.
-func (a *Analyzer) Figure8() *Figure {
-	f := &Figure{
-		ID: "fig8", Title: "UDP downlink throughput by area type",
-		Kind: BoxPlot, XLabel: "area type", YLabel: "throughput (Mbps)",
-	}
-	areaSamples := func(nets []channel.NetworkID, area geo.AreaType) []float64 {
-		var out []float64
-		for _, d := range a.DS.Drives {
-			for _, n := range nets {
-				for _, r := range d.Observed[n] {
-					if r.Env.Area == area {
-						out = append(out, r.Sample.DownMbps)
-					}
-				}
-			}
-		}
-		return out
-	}
-	for gi, group := range []struct {
-		label string
-		nets  []channel.NetworkID
-	}{
-		{"Cellular", a.Cellulars()},
-		{"MOB", []channel.NetworkID{channel.StarlinkMobility}},
-	} {
-		s := Series{Label: group.label}
-		for ai, area := range geo.AreaTypes {
-			xs := areaSamples(group.nets, area)
-			box := stats.Box(xs)
-			s.X = append(s.X, float64(gi*3+ai))
-			s.Y = append(s.Y, box.Median)
-			f.addKPI(fmt.Sprintf("mean_%s_%s", group.label, area), stats.Mean(xs))
-			f.addKPI(fmt.Sprintf("median_%s_%s", group.label, area), box.Median)
-		}
-		f.Series = append(f.Series, s)
-	}
-	// Data share per area (the paper's 29.78/34.30/35.91 split).
-	counts := a.DS.SampleCountByArea()
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	for _, area := range geo.AreaTypes {
-		f.addKPI("share_"+area.String(), 100*float64(counts[area])/float64(total))
-	}
-	return f
-}
+func (a *Analyzer) Figure8() *Figure { return buildFigure8(a) }
 
 // perfLevel buckets a throughput sample into the paper's performance
 // levels: very low (<20), low (20-50), medium (50-100), high (>100).
@@ -440,91 +154,11 @@ var PerfLevelNames = []string{"very-low", "low", "medium", "high"}
 // Figure9 reproduces the performance-coverage comparison: the share of
 // time each network (and combination) spends in each performance level,
 // using time-aligned per-second UDP downlink samples.
-func (a *Analyzer) Figure9() *Figure {
-	f := &Figure{
-		ID: "fig9", Title: "Coverage share per performance level",
-		Kind: StackedBars, XLabel: "network", YLabel: "fraction",
-	}
-	// Column order follows the paper, generalized over the scenario:
-	// each cellular carrier, the best-of-cellular combination, then each
-	// satellite network alone and paired with the cellular ensemble. For
-	// the default scenario this reproduces the paper's eight columns
-	// (ATT, TM, VZ, BestCL, RM, RM+CL, MOB, MOB+CL) exactly.
-	type column struct {
-		label string
-		pick  func(sec map[channel.NetworkID]float64) float64
-	}
-	maxOf := func(nets ...channel.NetworkID) func(map[channel.NetworkID]float64) float64 {
-		return func(sec map[channel.NetworkID]float64) float64 {
-			best := 0.0
-			for _, n := range nets {
-				if v := sec[n]; v > best {
-					best = v
-				}
-			}
-			return best
-		}
-	}
-	cellulars := a.Cellulars()
-	var cols []column
-	for _, n := range cellulars {
-		cols = append(cols, column{n.String(), maxOf(n)})
-	}
-	if len(cellulars) > 1 {
-		cols = append(cols, column{"BestCL", maxOf(cellulars...)})
-	}
-	for _, n := range a.Satellites() {
-		cols = append(cols, column{n.String(), maxOf(n)})
-		if len(cellulars) > 0 {
-			cols = append(cols, column{n.String() + "+CL",
-				maxOf(append([]channel.NetworkID{n}, cellulars...)...)})
-		}
-	}
-	nets := a.Networks()
-	counts := make([][4]int, len(cols))
-	total := 0
-	for _, d := range a.DS.Drives {
-		n := len(d.Fixes)
-		for i := 0; i < n; i++ {
-			sec := make(map[channel.NetworkID]float64, len(nets))
-			for _, net := range nets {
-				sec[net] = d.Observed[net][i].Sample.DownMbps
-			}
-			for ci, c := range cols {
-				counts[ci][perfLevel(c.pick(sec))]++
-			}
-			total++
-		}
-	}
-	for ci, c := range cols {
-		s := Series{Label: c.label}
-		for lvl := 0; lvl < 4; lvl++ {
-			frac := float64(counts[ci][lvl]) / float64(total)
-			s.X = append(s.X, float64(lvl))
-			s.Y = append(s.Y, frac)
-			f.addKPI(fmt.Sprintf("%s_%s", c.label, PerfLevelNames[lvl]), frac)
-		}
-		f.Series = append(f.Series, s)
-	}
-	return f
-}
+func (a *Analyzer) Figure9() *Figure { return buildFigure9(a) }
 
 // Equation1 reproduces Eq. (1): the one-way propagation latency of a
 // 550 km overhead satellite hop.
-func (a *Analyzer) Equation1() *Figure {
-	f := &Figure{
-		ID: "eq1", Title: "One-way satellite propagation latency (Eq. 1)",
-		Kind: Bars, XLabel: "altitude (km)", YLabel: "latency (ms)",
-	}
-	s := Series{Label: "one-way latency"}
-	for _, alt := range []float64{340, 550, 1150} {
-		s.X = append(s.X, alt)
-		s.Y = append(s.Y, leo.OneWayPropagation(alt).Seconds()*1000)
-	}
-	f.Series = []Series{s}
-	f.addKPI("latency_550km_ms", leo.OneWayPropagation(550).Seconds()*1000)
-	return f
-}
+func (a *Analyzer) Equation1() *Figure { return buildEquation1() }
 
 // testTrace rebuilds the channel trace of one test window.
 func testTrace(t *dataset.Test) *channel.Trace {
@@ -557,21 +191,4 @@ func absFloat(x float64) float64 {
 }
 
 // DatasetSummary reports the §3.3 bookkeeping numbers.
-func (a *Analyzer) DatasetSummary() *Figure {
-	f := &Figure{ID: "dataset", Title: "Driving dataset summary (§3.3)", Kind: Bars}
-	f.addKPI("tests", float64(len(a.DS.Tests)))
-	outcomes := a.DS.OutcomeCounts()
-	f.addKPI("tests_complete", float64(outcomes[dataset.OutcomeComplete]))
-	f.addKPI("tests_truncated", float64(outcomes[dataset.OutcomeTruncated]))
-	f.addKPI("tests_failed", float64(outcomes[dataset.OutcomeFailed]))
-	f.addKPI("tests_skipped_by_figures", float64(a.SkippedTests()))
-	f.addKPI("trace_minutes", a.DS.TotalTestMin)
-	f.addKPI("distance_km", a.DS.TotalKm)
-	f.addKPI("drives", float64(len(a.DS.Drives)))
-	states := map[string]bool{}
-	for _, d := range a.DS.Drives {
-		states[d.State] = true
-	}
-	f.addKPI("states", float64(len(states)))
-	return f
-}
+func (a *Analyzer) DatasetSummary() *Figure { return buildDatasetSummary(a) }

@@ -6,6 +6,7 @@ import (
 	"satcell/internal/channel"
 	"satcell/internal/dataset"
 	"satcell/internal/geo"
+	"satcell/internal/stats"
 )
 
 // bucketKey identifies one (network, kind) test bucket of the index.
@@ -23,21 +24,33 @@ type areaKey struct {
 
 // queryIndex memoizes the dataset lookups the figure analyses repeat:
 // per-(network, kind) test buckets in dataset order, the same buckets
-// split by majority area type, and the pooled per-second goodput
-// samples of each bucket. It is built in one pass over the dataset the
-// first time any figure asks, replacing Filter's O(tests × predicates)
-// scan per query — Figure3a alone used to run eight full scans.
+// split by majority area type, and per-bucket aggregates (pooled
+// per-second slices and canonical sketches). The test buckets are built
+// in one pass over the dataset the first time any figure asks; the
+// aggregates are built lazily per bucket on first query — a figure run
+// that only touches three kinds never pools the other five, and an
+// Analyzer used for a single figure pays for exactly that figure's
+// buckets.
 type queryIndex struct {
 	once   sync.Once
 	tests  map[bucketKey][]*dataset.Test
 	byArea map[areaKey][]*dataset.Test
-	pooled map[bucketKey][]float64
 	// skipped counts failed tests excluded from the buckets: a test
 	// whose whole window was dead measured nothing, and folding its
 	// zero series into the CDFs would pollute every distribution with
 	// artifacts of the outage, not of the network. Truncated tests
 	// stay in — their surviving seconds are real measurements.
 	skipped int
+
+	// mu guards the lazily built per-bucket aggregates below.
+	mu      sync.Mutex
+	pooled  map[bucketKey][]float64
+	perSec  map[bucketKey]*stats.Sketch
+	rtt     map[channel.NetworkID]*stats.Sketch
+	retrans map[bucketKey]*stats.Sketch
+	fluid   map[fluidKey]*stats.Sketch
+	speed   map[channel.NetworkID]map[int]*stats.Sketch
+	area    map[channel.NetworkID]map[geo.AreaType]*stats.Sketch
 }
 
 func (ix *queryIndex) build(ds *dataset.Dataset) {
@@ -54,10 +67,13 @@ func (ix *queryIndex) build(ds *dataset.Dataset) {
 		ak := areaKey{t.Network, t.Kind, t.Area}
 		ix.byArea[ak] = append(ix.byArea[ak], t)
 	}
-	ix.pooled = make(map[bucketKey][]float64, len(ix.tests))
-	for k, ts := range ix.tests {
-		ix.pooled[k] = perSecond(ts)
-	}
+	ix.pooled = make(map[bucketKey][]float64)
+	ix.perSec = make(map[bucketKey]*stats.Sketch)
+	ix.rtt = make(map[channel.NetworkID]*stats.Sketch)
+	ix.retrans = make(map[bucketKey]*stats.Sketch)
+	ix.fluid = make(map[fluidKey]*stats.Sketch)
+	ix.speed = make(map[channel.NetworkID]map[int]*stats.Sketch)
+	ix.area = make(map[channel.NetworkID]map[geo.AreaType]*stats.Sketch)
 }
 
 // index returns the analyzer's query index, building it on first use.
@@ -98,13 +114,21 @@ func (a *Analyzer) TestsInArea(n channel.NetworkID, area geo.AreaType, kinds ...
 }
 
 // PerSecond returns the pooled per-second goodput samples of one
-// network's tests of the given kinds, memoized for the single-kind
-// queries every CDF figure makes. The slice is shared index state for
-// single-kind queries: callers must not modify it.
+// network's tests of the given kinds, memoized per bucket for the
+// single-kind queries. The slice is shared index state for single-kind
+// queries: callers must not modify it.
 func (a *Analyzer) PerSecond(n channel.NetworkID, kinds ...dataset.Kind) []float64 {
 	ix := a.index()
 	if len(kinds) == 1 {
-		return ix.pooled[bucketKey{n, kinds[0]}]
+		key := bucketKey{n, kinds[0]}
+		ix.mu.Lock()
+		defer ix.mu.Unlock()
+		if p, ok := ix.pooled[key]; ok {
+			return p
+		}
+		p := perSecond(ix.tests[key])
+		ix.pooled[key] = p
+		return p
 	}
 	return perSecond(mergeByID(bucketsOf(ix, n, kinds)))
 }
@@ -149,4 +173,195 @@ func mergeByID(buckets [][]*dataset.Test) []*dataset.Test {
 		heads[best]++
 	}
 	return out
+}
+
+// --- aggSource: the in-memory path ---
+//
+// The methods below let the figure builders (figbuild.go) consume the
+// Analyzer through the same interface as the streaming pipeline. Every
+// sketch is built lazily per bucket and memoized under ix.mu; callers
+// receive shared state and must not mutate sample content (Merge-ing a
+// returned sketch into another is fine — it only compacts, never alters
+// the multiset).
+
+func (a *Analyzer) networks() []channel.NetworkID   { return a.Networks() }
+func (a *Analyzer) cellulars() []channel.NetworkID  { return a.Cellulars() }
+func (a *Analyzer) satellites() []channel.NetworkID { return a.Satellites() }
+
+func (a *Analyzer) perSecondSketch(n channel.NetworkID, k dataset.Kind) *stats.Sketch {
+	ix := a.index()
+	key := bucketKey{n, k}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if s, ok := ix.perSec[key]; ok {
+		return s
+	}
+	s := stats.NewSketch()
+	for _, t := range ix.tests[key] {
+		s.AddSlice(t.Series)
+	}
+	ix.perSec[key] = s
+	return s
+}
+
+func (a *Analyzer) rttSketch(n channel.NetworkID) *stats.Sketch {
+	ix := a.index()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if s, ok := ix.rtt[n]; ok {
+		return s
+	}
+	s := stats.NewSketch()
+	for _, t := range ix.tests[bucketKey{n, dataset.Ping}] {
+		s.AddSlice(t.RTTsMs)
+	}
+	ix.rtt[n] = s
+	return s
+}
+
+func (a *Analyzer) retransSketch(n channel.NetworkID, k dataset.Kind) *stats.Sketch {
+	ix := a.index()
+	key := bucketKey{n, k}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if s, ok := ix.retrans[key]; ok {
+		return s
+	}
+	s := stats.NewSketch()
+	for _, t := range ix.tests[key] {
+		s.Add(t.RetransRate)
+	}
+	ix.retrans[key] = s
+	return s
+}
+
+func (a *Analyzer) fluidSketch(n channel.NetworkID, flows int) *stats.Sketch {
+	ix := a.index()
+	key := fluidKey{n, flows}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if s, ok := ix.fluid[key]; ok {
+		return s
+	}
+	s := stats.NewSketch()
+	for _, t := range mergeByID(bucketsOf(ix, n, fluidKinds)) {
+		tr := testTrace(t)
+		s.Add(dataset.FluidTCP{Flows: flows}.Run(tr, rngFor(a.Seed, t.ID, flows)).MeanGoodputMbps)
+	}
+	ix.fluid[key] = s
+	return s
+}
+
+func (a *Analyzer) speedSketches(n channel.NetworkID) map[int]*stats.Sketch {
+	ix := a.index()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if m, ok := ix.speed[n]; ok {
+		return m
+	}
+	m := make(map[int]*stats.Sketch)
+	for _, d := range a.DS.Drives {
+		for _, r := range d.Observed[n] {
+			if r.Env.Area != geo.Rural || r.Env.SpeedKmh < 1 {
+				continue
+			}
+			b := int(r.Env.SpeedKmh) / 10 * 10
+			s := m[b]
+			if s == nil {
+				s = stats.NewSketch()
+				m[b] = s
+			}
+			s.Add(r.Sample.DownMbps)
+		}
+	}
+	ix.speed[n] = m
+	return m
+}
+
+func (a *Analyzer) areaSketch(n channel.NetworkID, area geo.AreaType) *stats.Sketch {
+	ix := a.index()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if m, ok := ix.area[n]; ok {
+		return m[area]
+	}
+	m := make(map[geo.AreaType]*stats.Sketch, len(geo.AreaTypes))
+	for _, at := range geo.AreaTypes {
+		m[at] = stats.NewSketch()
+	}
+	for _, d := range a.DS.Drives {
+		for _, r := range d.Observed[n] {
+			m[r.Env.Area].Add(r.Sample.DownMbps)
+		}
+	}
+	ix.area[n] = m
+	return m[area]
+}
+
+func (a *Analyzer) areaCounts() map[geo.AreaType]int { return a.DS.SampleCountByArea() }
+
+func (a *Analyzer) perfCounts() ([][4]int, int) {
+	cols := fig9Columns(a.Cellulars(), a.Satellites())
+	counts := make([][4]int, len(cols))
+	total := 0
+	for di := range a.DS.Drives {
+		d := &a.DS.Drives[di]
+		n := len(d.Fixes)
+		for i := 0; i < n; i++ {
+			for ci := range cols {
+				best := 0.0
+				for _, net := range cols[ci].nets {
+					if v := d.Observed[net][i].Sample.DownMbps; v > best {
+						best = v
+					}
+				}
+				counts[ci][perfLevel(best)]++
+			}
+			total++
+		}
+	}
+	return counts, total
+}
+
+func (a *Analyzer) timeline() timelineData {
+	// Pick the longest drive for the most interesting timeline.
+	best := 0
+	for i := range a.DS.Drives {
+		if len(a.DS.Drives[i].Fixes) > len(a.DS.Drives[best].Fixes) {
+			best = i
+		}
+	}
+	d := &a.DS.Drives[best]
+	tl := timelineData{
+		Drive: best, Route: d.Route, State: d.State, Seconds: len(d.Fixes),
+		X: make(map[channel.NetworkID][]float64),
+		Y: make(map[channel.NetworkID][]float64),
+	}
+	for _, n := range a.Networks() {
+		recs := d.Observed[n]
+		xs := make([]float64, len(recs))
+		ys := make([]float64, len(recs))
+		for i, r := range recs {
+			xs[i] = r.Sample.At.Seconds()
+			ys[i] = r.Sample.DownMbps
+		}
+		tl.X[n], tl.Y[n] = xs, ys
+	}
+	return tl
+}
+
+func (a *Analyzer) summary() summaryData {
+	states := map[string]bool{}
+	for _, d := range a.DS.Drives {
+		states[d.State] = true
+	}
+	return summaryData{
+		Tests:        len(a.DS.Tests),
+		Outcomes:     a.DS.OutcomeCounts(),
+		Skipped:      a.SkippedTests(),
+		TraceMinutes: a.DS.TotalTestMin,
+		DistanceKm:   a.DS.TotalKm,
+		Drives:       len(a.DS.Drives),
+		States:       len(states),
+	}
 }

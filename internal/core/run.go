@@ -5,6 +5,7 @@ import (
 
 	"satcell/internal/channel"
 	"satcell/internal/dataset"
+	"satcell/internal/obs"
 )
 
 // RunConfig bundles everything needed to regenerate the evaluation.
@@ -39,6 +40,26 @@ func AllFiguresCatalog(ds *dataset.Dataset, mp MultipathConfig, cat *channel.Cat
 		out[f.ID] = f
 	}
 	return out
+}
+
+// AllFiguresStreaming produces the same figure map as AllFiguresCatalog
+// but computes the streamable analyses (everything except the
+// packet-level fig10/fig11 replays) through the sharded worker-pool
+// pipeline. Output is bit-identical to AllFiguresCatalog for every
+// worker count; only peak memory and wall-clock change.
+func AllFiguresStreaming(ds *dataset.Dataset, mp MultipathConfig, cat *channel.Catalog, workers int, metrics *obs.Registry) (map[string]*Figure, error) {
+	sa, err := StreamAnalyze(&DatasetSource{DS: ds},
+		StreamOptions{Workers: workers, Catalog: cat, Metrics: metrics})
+	if err != nil {
+		return nil, err
+	}
+	out := sa.Figures()
+	a := NewAnalyzer(ds)
+	a.Catalog = cat
+	for _, f := range []*Figure{a.Figure10(mp), a.Figure11(mp)} {
+		out[f.ID] = f
+	}
+	return out, nil
 }
 
 // FigureIDs returns the sorted figure identifiers of a figure map.

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"satcell/internal/channel"
+	"satcell/internal/dataset"
+	"satcell/internal/geo"
+	"satcell/internal/obs"
+	"satcell/internal/stats"
+)
+
+// This file is the streaming analysis path: a worker pool folds the
+// campaign shard by shard (one drive per shard) into mergeable partial
+// aggregates, an exact merge combines the partials, and the shared
+// figure builders (figbuild.go) render from the merged state. Because
+// every floating-point reduction lives in a canonical stats.Sketch and
+// every other aggregate is an integer counter or a set, the merged
+// state — and therefore every rendered byte — is identical for any
+// worker count and any shard-to-worker interleaving. Peak memory is
+// O(largest shard + sketches), never O(dataset).
+
+// Shard is one unit of streaming work: a single drive's records (per
+// network, in drive order) and the tests carved from it.
+type Shard struct {
+	Drive        int
+	Route, State string
+	// Records holds each network's per-second observations; all
+	// networks of a drive have equal length (one record per GPS fix).
+	Records map[channel.NetworkID][]channel.Record
+	// Tests lists the drive's evaluated test windows, failed ones
+	// included (the accumulator counts and skips them).
+	Tests []*dataset.Test
+}
+
+// SourceInfo describes the campaign a ShardSource scans: facts that are
+// not recoverable from the shards themselves.
+type SourceInfo struct {
+	// Networks lists the measured networks in campaign order.
+	Networks []channel.NetworkID
+	// Seed is the campaign's generation seed (drives the fluid-TCP
+	// variant RNGs, matching the in-memory analyzer).
+	Seed int64
+	// TotalKm and TotalTestMin are the §3.3 campaign totals (distance
+	// covers gaps between test windows, so summing shards undercounts).
+	TotalKm, TotalTestMin float64
+}
+
+// ShardSource yields a campaign's shards sequentially. Shards must
+// arrive in a deterministic order; the pipeline's result is provably
+// independent of that order, but deterministic production keeps
+// progress reporting and debugging sane.
+type ShardSource interface {
+	Info() (SourceInfo, error)
+	Shards(yield func(*Shard) error) error
+}
+
+// DatasetSource adapts an in-memory dataset to the streaming pipeline,
+// sharding the campaign on the Test.Drive index. It shares the
+// dataset's memory (no copies), so it proves path equivalence rather
+// than memory bounds; StoreSource is the bounded-memory scan.
+type DatasetSource struct {
+	DS *dataset.Dataset
+}
+
+// Info implements ShardSource.
+func (s *DatasetSource) Info() (SourceInfo, error) {
+	nets := s.DS.Networks
+	if len(nets) == 0 {
+		nets = channel.Networks
+	}
+	return SourceInfo{
+		Networks: nets, Seed: s.DS.Seed,
+		TotalKm: s.DS.TotalKm, TotalTestMin: s.DS.TotalTestMin,
+	}, nil
+}
+
+// Shards implements ShardSource: one shard per drive, in drive order.
+func (s *DatasetSource) Shards(yield func(*Shard) error) error {
+	ds := s.DS
+	byDrive := make([][]*dataset.Test, len(ds.Drives))
+	for i := range ds.Tests {
+		t := &ds.Tests[i]
+		if t.Drive < 0 || t.Drive >= len(ds.Drives) {
+			return fmt.Errorf("core: test %d claims drive %d of %d", t.ID, t.Drive, len(ds.Drives))
+		}
+		byDrive[t.Drive] = append(byDrive[t.Drive], t)
+	}
+	for di := range ds.Drives {
+		d := &ds.Drives[di]
+		sh := &Shard{
+			Drive: di, Route: d.Route, State: d.State,
+			Records: d.Observed, Tests: byDrive[di],
+		}
+		if err := yield(sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partial is one worker's mergeable aggregate state. Every field is
+// either a canonical sketch (order-invariant by construction), an
+// integer counter (exactly associative), a set, or a max-candidate
+// (timeline), so merging partials in any grouping produces identical
+// state.
+type partial struct {
+	cols []fig9Column
+
+	drives   int
+	states   map[string]bool
+	tests    int
+	outcomes map[dataset.Outcome]int
+	skipped  int
+
+	perSec  map[bucketKey]*stats.Sketch
+	rtt     map[channel.NetworkID]*stats.Sketch
+	retrans map[bucketKey]*stats.Sketch
+	fluid   map[fluidKey]*stats.Sketch
+	speed   map[channel.NetworkID]map[int]*stats.Sketch
+	area    map[netArea]*stats.Sketch
+
+	areaCounts map[geo.AreaType]int
+	perfCounts [][4]int
+	perfTotal  int
+
+	timeline *timelineData
+}
+
+func newPartial(cols []fig9Column) *partial {
+	return &partial{
+		cols:       cols,
+		states:     make(map[string]bool),
+		outcomes:   make(map[dataset.Outcome]int),
+		perSec:     make(map[bucketKey]*stats.Sketch),
+		rtt:        make(map[channel.NetworkID]*stats.Sketch),
+		retrans:    make(map[bucketKey]*stats.Sketch),
+		fluid:      make(map[fluidKey]*stats.Sketch),
+		speed:      make(map[channel.NetworkID]map[int]*stats.Sketch),
+		area:       make(map[netArea]*stats.Sketch),
+		areaCounts: make(map[geo.AreaType]int),
+		perfCounts: make([][4]int, len(cols)),
+	}
+}
+
+func sketchAt[K comparable](m map[K]*stats.Sketch, k K) *stats.Sketch {
+	s := m[k]
+	if s == nil {
+		s = stats.NewSketch()
+		m[k] = s
+	}
+	return s
+}
+
+// kindIn reports membership of k in kinds.
+func kindIn(kinds []dataset.Kind, k dataset.Kind) bool {
+	for _, x := range kinds {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// accumulate folds one shard into the partial. rows counts the records
+// and test windows consumed (for throughput metrics).
+func (p *partial) accumulate(sh *Shard, info SourceInfo, nets []channel.NetworkID) (rows int) {
+	p.drives++
+	p.states[sh.State] = true
+
+	// Per-second campaign scans: area shares and the Figure 9
+	// performance levels use the fix sequence (the first network's
+	// record count — all networks observe every fix).
+	var fixes []channel.Record
+	if len(nets) > 0 {
+		fixes = sh.Records[nets[0]]
+	}
+	for i := range fixes {
+		p.areaCounts[fixes[i].Env.Area]++
+		for ci := range p.cols {
+			best := 0.0
+			for _, net := range p.cols[ci].nets {
+				if recs := sh.Records[net]; i < len(recs) {
+					if v := recs[i].Sample.DownMbps; v > best {
+						best = v
+					}
+				}
+			}
+			p.perfCounts[ci][perfLevel(best)]++
+		}
+		p.perfTotal++
+	}
+
+	// Per-record per-network scans: Figure 6 speed buckets and
+	// Figure 8 area distributions.
+	for _, n := range nets {
+		recs := sh.Records[n]
+		rows += len(recs)
+		for i := range recs {
+			r := &recs[i]
+			sketchAt(p.area, netArea{n, r.Env.Area}).Add(r.Sample.DownMbps)
+			if r.Env.Area == geo.Rural && r.Env.SpeedKmh >= 1 {
+				m := p.speed[n]
+				if m == nil {
+					m = make(map[int]*stats.Sketch)
+					p.speed[n] = m
+				}
+				sketchAt(m, int(r.Env.SpeedKmh)/10*10).Add(r.Sample.DownMbps)
+			}
+		}
+	}
+
+	// Timeline candidate: keep only the best seen so far.
+	cand := &timelineData{Drive: sh.Drive, Route: sh.Route, State: sh.State, Seconds: len(fixes)}
+	if cand.betterThan(p.timeline) {
+		cand.X = make(map[channel.NetworkID][]float64, len(nets))
+		cand.Y = make(map[channel.NetworkID][]float64, len(nets))
+		for _, n := range nets {
+			recs := sh.Records[n]
+			xs := make([]float64, len(recs))
+			ys := make([]float64, len(recs))
+			for i, r := range recs {
+				xs[i] = r.Sample.At.Seconds()
+				ys[i] = r.Sample.DownMbps
+			}
+			cand.X[n], cand.Y[n] = xs, ys
+		}
+		p.timeline = cand
+	}
+
+	// Test windows.
+	for _, t := range sh.Tests {
+		rows++
+		p.tests++
+		p.outcomes[t.Outcome]++
+		if t.Outcome == dataset.OutcomeFailed {
+			p.skipped++
+			continue
+		}
+		if kindIn(perSecondKinds, t.Kind) {
+			sketchAt(p.perSec, bucketKey{t.Network, t.Kind}).AddSlice(t.Series)
+		}
+		if t.Kind == dataset.Ping {
+			sketchAt(p.rtt, t.Network).AddSlice(t.RTTsMs)
+		}
+		if kindIn(retransKinds, t.Kind) {
+			sketchAt(p.retrans, bucketKey{t.Network, t.Kind}).Add(t.RetransRate)
+		}
+		if kindIn(fluidKinds, t.Kind) {
+			tr := testTrace(t)
+			for _, flows := range fluidFlowCounts {
+				got := dataset.FluidTCP{Flows: flows}.Run(tr, rngFor(info.Seed, t.ID, flows))
+				sketchAt(p.fluid, fluidKey{t.Network, flows}).Add(got.MeanGoodputMbps)
+			}
+		}
+	}
+	return rows
+}
+
+// merge folds o into p. Merging is associative and commutative for
+// every field, so the reduction order cannot affect the result; the
+// pipeline still merges in fixed worker order for determinism-by-
+// construction rather than determinism-by-proof.
+func (p *partial) merge(o *partial) {
+	p.drives += o.drives
+	for s := range o.states {
+		p.states[s] = true
+	}
+	p.tests += o.tests
+	for k, v := range o.outcomes {
+		p.outcomes[k] += v
+	}
+	p.skipped += o.skipped
+	for k, s := range o.perSec {
+		sketchAt(p.perSec, k).Merge(s)
+	}
+	for k, s := range o.rtt {
+		sketchAt(p.rtt, k).Merge(s)
+	}
+	for k, s := range o.retrans {
+		sketchAt(p.retrans, k).Merge(s)
+	}
+	for k, s := range o.fluid {
+		sketchAt(p.fluid, k).Merge(s)
+	}
+	for n, m := range o.speed {
+		pm := p.speed[n]
+		if pm == nil {
+			pm = make(map[int]*stats.Sketch)
+			p.speed[n] = pm
+		}
+		for b, s := range m {
+			sketchAt(pm, b).Merge(s)
+		}
+	}
+	for k, s := range o.area {
+		sketchAt(p.area, k).Merge(s)
+	}
+	for k, v := range o.areaCounts {
+		p.areaCounts[k] += v
+	}
+	for ci := range p.perfCounts {
+		for lvl := 0; lvl < 4; lvl++ {
+			p.perfCounts[ci][lvl] += o.perfCounts[ci][lvl]
+		}
+	}
+	p.perfTotal += o.perfTotal
+	if o.timeline != nil && o.timeline.betterThan(p.timeline) {
+		p.timeline = o.timeline
+	}
+}
+
+// StreamOptions configures a streaming analysis run.
+type StreamOptions struct {
+	// Workers sets the pool size; values below 1 mean 1.
+	Workers int
+	// Catalog classifies the campaign's networks (nil = default).
+	Catalog *channel.Catalog
+	// Metrics, when non-nil, instruments the run live:
+	// stream.shards_total (gauge), stream.shards_done, stream.rows_done,
+	// stream.worker.NN.shards (counters) and stream.progress (gauge,
+	// fraction of shards done).
+	Metrics *obs.Registry
+}
+
+// StreamAnalysis is the merged result of a sharded campaign scan. It
+// renders the streaming figure set through the same builders as the
+// in-memory Analyzer.
+type StreamAnalysis struct {
+	info    SourceInfo
+	catalog *channel.Catalog
+	p       *partial
+}
+
+// streamFigureIDs lists the figures the streaming path produces.
+// Figure 10/11 (multipath scheduling) replay traces window by window
+// and stay on the in-memory path.
+var streamFigureIDs = []string{
+	"fig1", "fig3a", "fig3b", "fig3c", "fig4", "fig5", "fig6", "fig7",
+	"fig8", "fig9", "eq1", "dataset",
+}
+
+// StreamFigureIDs returns the figure ids the streaming path renders.
+func StreamFigureIDs() []string { return append([]string(nil), streamFigureIDs...) }
+
+// StreamAnalyze scans src's shards with a worker pool and returns the
+// merged analysis. The result is bit-identical for every worker count:
+// all float reductions flow through canonical sketches, everything else
+// is exact integer arithmetic.
+func StreamAnalyze(src ShardSource, opts StreamOptions) (*StreamAnalysis, error) {
+	info, err := src.Info()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sa := &StreamAnalysis{info: info, catalog: opts.Catalog}
+	cols := fig9Columns(sa.cellulars(), sa.satellites())
+
+	shardsDone := opts.Metrics.Counter("stream.shards_done")
+	rowsDone := opts.Metrics.Counter("stream.rows_done")
+	progress := opts.Metrics.Gauge("stream.progress")
+	var shardsTotal atomic.Int64
+
+	ch := make(chan *Shard, workers)
+	partials := make([]*partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		p := newPartial(cols)
+		partials[w] = p
+		workerShards := opts.Metrics.Counter(fmt.Sprintf("stream.worker.%02d.shards", w))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range ch {
+				rows := p.accumulate(sh, info, info.Networks)
+				workerShards.Inc()
+				shardsDone.Inc()
+				rowsDone.Add(int64(rows))
+				if total := shardsTotal.Load(); total > 0 {
+					progress.Set(float64(shardsDone.Value()) / float64(total))
+				}
+			}
+		}()
+	}
+
+	produceErr := src.Shards(func(sh *Shard) error {
+		opts.Metrics.Gauge("stream.shards_total").Set(float64(shardsTotal.Add(1)))
+		ch <- sh
+		return nil
+	})
+	close(ch)
+	wg.Wait()
+	if produceErr != nil {
+		return nil, produceErr
+	}
+	progress.Set(1)
+
+	// Exact deterministic merge: fixed worker order. (Canonicality
+	// makes the order irrelevant; fixing it anyway means the claim
+	// never has to be trusted.)
+	merged := partials[0]
+	for _, o := range partials[1:] {
+		merged.merge(o)
+	}
+	sa.p = merged
+	return sa, nil
+}
+
+// Figures renders the streaming figure set keyed by ID.
+func (sa *StreamAnalysis) Figures() map[string]*Figure {
+	figs := []*Figure{
+		buildFigure1(sa),
+		buildFigure3a(sa), buildFigure3b(sa), buildFigure3c(sa),
+		buildFigure4(sa), buildFigure5(sa), buildFigure6(sa), buildFigure7(sa),
+		buildFigure8(sa), buildFigure9(sa),
+		buildEquation1(),
+		buildDatasetSummary(sa),
+	}
+	out := make(map[string]*Figure, len(figs))
+	for _, f := range figs {
+		out[f.ID] = f
+	}
+	return out
+}
+
+// --- aggSource: the streaming path ---
+
+func (sa *StreamAnalysis) networks() []channel.NetworkID {
+	if len(sa.info.Networks) > 0 {
+		return sa.info.Networks
+	}
+	return channel.Networks
+}
+
+func (sa *StreamAnalysis) cat() *channel.Catalog {
+	if sa.catalog != nil {
+		return sa.catalog
+	}
+	return channel.DefaultCatalog()
+}
+
+func (sa *StreamAnalysis) byClass(c channel.Class) []channel.NetworkID {
+	cat := sa.cat()
+	var out []channel.NetworkID
+	for _, n := range sa.networks() {
+		if s, ok := cat.Spec(n); ok && s.Class == c {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (sa *StreamAnalysis) cellulars() []channel.NetworkID {
+	return sa.byClass(channel.ClassCellular)
+}
+
+func (sa *StreamAnalysis) satellites() []channel.NetworkID {
+	return sa.byClass(channel.ClassSatellite)
+}
+
+func (sa *StreamAnalysis) perSecondSketch(n channel.NetworkID, k dataset.Kind) *stats.Sketch {
+	return sa.p.perSec[bucketKey{n, k}]
+}
+
+func (sa *StreamAnalysis) rttSketch(n channel.NetworkID) *stats.Sketch { return sa.p.rtt[n] }
+
+func (sa *StreamAnalysis) retransSketch(n channel.NetworkID, k dataset.Kind) *stats.Sketch {
+	return sa.p.retrans[bucketKey{n, k}]
+}
+
+func (sa *StreamAnalysis) fluidSketch(n channel.NetworkID, flows int) *stats.Sketch {
+	return sa.p.fluid[fluidKey{n, flows}]
+}
+
+func (sa *StreamAnalysis) speedSketches(n channel.NetworkID) map[int]*stats.Sketch {
+	m := sa.p.speed[n]
+	if m == nil {
+		m = map[int]*stats.Sketch{}
+	}
+	return m
+}
+
+func (sa *StreamAnalysis) areaSketch(n channel.NetworkID, area geo.AreaType) *stats.Sketch {
+	return sa.p.area[netArea{n, area}]
+}
+
+func (sa *StreamAnalysis) areaCounts() map[geo.AreaType]int { return sa.p.areaCounts }
+
+func (sa *StreamAnalysis) perfCounts() ([][4]int, int) { return sa.p.perfCounts, sa.p.perfTotal }
+
+func (sa *StreamAnalysis) timeline() timelineData {
+	if sa.p.timeline == nil {
+		return timelineData{X: map[channel.NetworkID][]float64{}, Y: map[channel.NetworkID][]float64{}}
+	}
+	return *sa.p.timeline
+}
+
+func (sa *StreamAnalysis) summary() summaryData {
+	return summaryData{
+		Tests:        sa.p.tests,
+		Outcomes:     sa.p.outcomes,
+		Skipped:      sa.p.skipped,
+		TraceMinutes: sa.info.TotalTestMin,
+		DistanceKm:   sa.info.TotalKm,
+		Drives:       sa.p.drives,
+		States:       len(sa.p.states),
+	}
+}

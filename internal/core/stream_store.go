@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"satcell/internal/channel"
+	"satcell/internal/dataset"
+	"satcell/internal/store"
+)
+
+// StoreSource streams a PR-3 artifact directory (MANIFEST + per-drive
+// per-network trace shards + tests.csv) through the analysis pipeline
+// without ever holding more than one drive in memory. Shards are
+// scanned in MANIFEST (export) order: drive-major, networks in campaign
+// order.
+//
+// The trace CSVs round samples to fixed decimals, so a directory scan
+// is not bit-identical to analyzing the generating dataset in memory —
+// but it IS bit-identical across worker counts, and every measured
+// value is within CSV rounding of the in-memory result.
+type StoreSource struct {
+	dir      string
+	mode     store.Mode
+	manifest *store.Manifest
+	shards   []store.TraceShard
+	networks []channel.NetworkID
+	// Report accumulates row/skip counts across the scan (meaningful
+	// after Shards returns; Lenient mode counts skipped rows here).
+	Report store.LoadReport
+}
+
+// OpenStoreSource validates dir's manifest and plans the shard scan.
+func OpenStoreSource(dir string, mode store.Mode) (*StoreSource, error) {
+	m, err := store.ReadManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: open store source: %w", err)
+	}
+	shards, err := store.ListTraceShards(m)
+	if err != nil {
+		return nil, err
+	}
+	s := &StoreSource{dir: dir, mode: mode, manifest: m, shards: shards}
+	s.networks = s.campaignNetworks()
+	return s, nil
+}
+
+// campaignNetworks resolves the campaign's network order: the
+// manifest's recorded list when present, else the distinct networks of
+// the first drive's shards in name order (an older artifact's best
+// available approximation).
+func (s *StoreSource) campaignNetworks() []channel.NetworkID {
+	if c := s.manifest.Campaign; c != nil && len(c.Networks) > 0 {
+		out := make([]channel.NetworkID, len(c.Networks))
+		for i, id := range c.Networks {
+			out[i] = channel.NetworkID(id)
+		}
+		return out
+	}
+	var out []channel.NetworkID
+	seen := make(map[channel.NetworkID]bool)
+	for _, sh := range s.shards {
+		if sh.Drive != s.shards[0].Drive {
+			break
+		}
+		if !seen[sh.Network] {
+			seen[sh.Network] = true
+			out = append(out, sh.Network)
+		}
+	}
+	return out
+}
+
+// Info implements ShardSource.
+func (s *StoreSource) Info() (SourceInfo, error) {
+	info := SourceInfo{Networks: s.networks, Seed: s.manifest.Seed}
+	if c := s.manifest.Campaign; c != nil {
+		info.TotalKm, info.TotalTestMin = c.Km, c.TestMin
+	}
+	return info, nil
+}
+
+// Shards implements ShardSource: for each drive, stream its trace
+// shards and tests.csv rows into one Shard, then release it before the
+// next. Peak memory is one drive's records plus the accumulated
+// sketches.
+func (s *StoreSource) Shards(yield func(*Shard) error) error {
+	testsByDrive, err := s.groupTests()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(s.shards); {
+		drive := s.shards[i].Drive
+		sh := &Shard{Drive: drive, Route: s.shards[i].Route, Records: make(map[channel.NetworkID][]channel.Record)}
+		for ; i < len(s.shards) && s.shards[i].Drive == drive; i++ {
+			ts := s.shards[i]
+			recs := make([]channel.Record, 0, ts.Rows)
+			err := store.ScanTrace(filepath.Join(s.dir, ts.Name), s.mode, &s.Report,
+				func(n channel.NetworkID, r channel.Record) error {
+					recs = append(recs, r)
+					return nil
+				})
+			if err != nil {
+				return err
+			}
+			sh.Records[ts.Network] = recs
+		}
+		rows := testsByDrive[drive]
+		sh.Tests = make([]*dataset.Test, 0, len(rows))
+		for _, row := range rows {
+			t, err := rebuildTest(row, drive, sh)
+			if err != nil {
+				return err
+			}
+			t.Reevaluate(s.manifest.Seed)
+			sh.Tests = append(sh.Tests, t)
+			if sh.State == "" {
+				sh.State = t.State
+			}
+		}
+		if err := yield(sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupTests scans tests.csv once and buckets rows by drive. Rows from
+// artifacts predating the drive column (Drive == -1) fall back to a
+// boundary heuristic: tests.csv is written in dataset order (drive-
+// major, start ascending within a drive), so a route change or a start
+// regression marks the next drive.
+func (s *StoreSource) groupTests() (map[int][]store.TestRow, error) {
+	out := make(map[int][]store.TestRow)
+	heuristicDrive := 0
+	var prev *store.TestRow
+	err := store.ScanTests(filepath.Join(s.dir, "tests.csv"), s.mode, &s.Report,
+		func(row store.TestRow) error {
+			drive := row.Drive
+			if drive < 0 {
+				if prev != nil && (row.Route != prev.Route || row.StartS < prev.StartS) {
+					heuristicDrive++
+				}
+				drive = heuristicDrive
+			}
+			r := row
+			prev = &r
+			out[drive] = append(out[drive], row)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rebuildTest reconstructs one dataset.Test from its tests.csv row and
+// the drive's scanned records; the caller re-evaluates it to recompute
+// the measured values deterministically.
+func rebuildTest(row store.TestRow, drive int, sh *Shard) (*dataset.Test, error) {
+	n := channel.NetworkID(row.Network)
+	recs, ok := sh.Records[n]
+	if !ok {
+		return nil, fmt.Errorf("core: test %d names network %q with no trace shard in drive %d",
+			row.ID, row.Network, drive)
+	}
+	kind, err := dataset.ParseKind(row.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("core: test %d has unknown kind %q", row.ID, row.Kind)
+	}
+	start := time.Duration(row.StartS * float64(time.Second))
+	dur := time.Duration(row.DurationS * float64(time.Second))
+	t := &dataset.Test{
+		ID: row.ID, Network: n, Kind: kind, Drive: drive,
+		Route: row.Route, State: row.State,
+		Start: start, Duration: dur,
+		Records: windowRecords(recs, start, start+dur),
+	}
+	return t, nil
+}
+
+// windowRecords selects the records with start <= Env.At < end,
+// replicating the dataset generator's test-window carve.
+func windowRecords(recs []channel.Record, from, to time.Duration) []channel.Record {
+	out := make([]channel.Record, 0, int((to-from)/time.Second)+1)
+	for _, r := range recs {
+		if r.Env.At >= from && r.Env.At < to {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -6,7 +6,7 @@ import "strconv"
 // artifact (the drivegen export format; a real field campaign would
 // produce the same shape). internal/store reads and writes it.
 var TestsCSVHeader = []string{
-	"id", "network", "kind", "route", "state", "start_s", "duration_s",
+	"id", "network", "kind", "drive", "route", "state", "start_s", "duration_s",
 	"area", "mean_speed_kmh", "throughput_mbps", "loss_rate", "retrans_rate",
 	"outcome",
 }
@@ -18,6 +18,7 @@ func (t *Test) CSVRecord() []string {
 		strconv.Itoa(t.ID),
 		t.Network.String(),
 		t.Kind.String(),
+		strconv.Itoa(t.Drive),
 		t.Route,
 		t.State,
 		strconv.FormatFloat(t.Start.Seconds(), 'f', 0, 64),

@@ -138,9 +138,12 @@ var testRotation = []Kind{
 
 // Test is one per-device network test (the paper's unit: 1,239 of them).
 type Test struct {
-	ID       int
-	Network  channel.NetworkID
-	Kind     Kind
+	ID      int
+	Network channel.NetworkID
+	Kind    Kind
+	// Drive indexes the Dataset.Drives entry the test window was carved
+	// from; the streaming analyzer shards the campaign on it.
+	Drive    int
 	Route    string
 	State    string
 	Start    time.Duration // offset into the drive
@@ -451,6 +454,7 @@ func executeTests(plans []testPlan, drives []Drive, seed int64, workers int, reg
 		p := plans[i]
 		trng := rand.New(rand.NewSource(seed ^ int64(p.id+1)*0x9E3779B9))
 		out[i] = buildTest(p.id, p.net, p.kind, drives[p.drive], p.start, p.dur, trng)
+		out[i].Drive = p.drive
 		done.Inc()
 		perWorker[w].Inc()
 	})
@@ -482,11 +486,35 @@ func buildTest(id int, n channel.NetworkID, kind Kind, drive Drive,
 		Start: start, Duration: dur,
 		Records: recs,
 	}
+	t.evaluate(rng)
+	return t
+}
+
+// Reevaluate rederives the test's measured results (environment
+// summary, outcome, series, RTTs, throughput, loss and retransmission
+// rates) from its channel Records, reproducing the campaign generator's
+// per-test derived RNG stream for the given campaign seed. The
+// streaming store path uses it to rebuild full tests from persisted
+// trace shards: given bit-identical Records it reproduces generation
+// bit-identically, and it is deterministic in the records regardless of
+// scan order or worker count.
+func (t *Test) Reevaluate(seed int64) {
+	t.evaluate(rand.New(rand.NewSource(seed ^ int64(t.ID+1)*0x9E3779B9)))
+}
+
+// evaluate computes a test's derived fields from t.Records, consuming
+// rng exactly like the original generator (the transport simulations
+// draw from it), so generation and replay share one code path.
+func (t *Test) evaluate(rng *rand.Rand) {
+	recs := t.Records
+	kind, start := t.Kind, t.Start
 	t.Area = majorityArea(recs)
 	t.MeanSpeedKmh = meanSpeed(recs)
 	t.Outcome = classifyOutcome(recs)
+	t.Series, t.RTTsMs = nil, nil
+	t.ThroughputMbps, t.LossRate, t.RetransRate = 0, 0, 0
 
-	tr := &channel.Trace{Network: n}
+	tr := &channel.Trace{Network: t.Network}
 	for _, r := range recs {
 		s := r.Sample
 		s.At -= start
@@ -536,7 +564,6 @@ func buildTest(id int, n channel.NetworkID, kind Kind, drive Drive,
 			t.Outcome = OutcomeFailed
 		}
 	}
-	return t
 }
 
 // flipTrace swaps up and down so the fluid model (which reads DownMbps/

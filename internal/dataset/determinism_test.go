@@ -63,10 +63,12 @@ func TestGenerateWorkersBitIdentical(t *testing.T) {
 // of the original single-threaded generator, guarding the guarantee
 // that the planning/execution split changed nothing. Update the golden
 // value only when an intentional model or campaign change lands.
-// (Updated when Test.Outcome was added: the digest hashes every Test
-// field, and outcome classification is part of the campaign output.)
+// (Updated when Test.Outcome was added, and again when Test.Drive was
+// added: the digest hashes every Test field, and both are part of the
+// campaign output. The measured values themselves were unchanged both
+// times.)
 func TestGenerateGoldenDigest(t *testing.T) {
-	const golden = "f16b952541904adac7011f9ede225886ab2d4662b13577f6d1da75b17d82977c"
+	const golden = "1d75d2d3292b23d6a0087f376388ef65c6f9bd6a768f2ef8499663816fb2b81f"
 	ds := Generate(Config{Seed: 7, Scale: 0.02})
 	if got := datasetDigest(ds); got != golden {
 		t.Fatalf("seed=7 scale=0.02 digest = %s, want %s", got, golden)

@@ -28,6 +28,16 @@ func (a AreaType) String() string {
 // AreaTypes lists the three classifications in order.
 var AreaTypes = []AreaType{Urban, Suburban, Rural}
 
+// ParseArea converts an area-type name back to an AreaType.
+func ParseArea(s string) (AreaType, bool) {
+	for _, a := range AreaTypes {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
 // City is a gazetteer entry. Population drives the urban-distance
 // thresholds: a data point near a big city counts as urban out to a
 // larger radius than one near a small town.

@@ -1,0 +1,352 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sketch is an exact, mergeable empirical distribution: the multiset of
+// added samples stored as ascending (value, count) runs. It is the
+// unit of the streaming analyzer's two-tier aggregation — each shard
+// worker accumulates one Sketch per tracked KPI distribution, and
+// merged sketches are *canonical*: two sketches holding the same
+// multiset are structurally identical no matter how the samples were
+// partitioned, which order the partitions merged in, or how the merges
+// were grouped. Every derived statistic (Mean, Quantile, Box, Points)
+// is computed from the runs in ascending order, so it is bit-identical
+// across worker counts and shard interleavings.
+//
+// Unlike a compressing quantile sketch (t-digest, KLL), a Sketch is
+// exact: memory is O(distinct values). For the campaign's KPI
+// distributions that is bounded by the campaign's measured seconds —
+// far below the full record/test structures the in-memory path holds —
+// and it is what makes the streaming figures bit-reproducible rather
+// than approximate.
+type Sketch struct {
+	vals   []float64 // ascending distinct values
+	counts []int64   // counts[i] > 0 is the multiplicity of vals[i]
+	cum    []int64   // cum[i] = counts[0] + ... + counts[i]; built lazily
+	pend   []float64 // samples added since the last compaction
+	n      int64
+}
+
+// NewSketch returns an empty sketch. The zero value is also ready to use.
+func NewSketch() *Sketch { return &Sketch{} }
+
+// Add records one sample. Negative zero is normalized to positive zero:
+// the two compare equal, so keeping both as distinct runs would make
+// the run layout depend on insertion order and break canonicality.
+func (s *Sketch) Add(v float64) {
+	if v == 0 {
+		v = 0 // collapses -0.0 into +0.0
+	}
+	s.pend = append(s.pend, v)
+	s.n++
+	if len(s.pend) >= 1024 && len(s.pend) >= len(s.vals)/4 {
+		s.compact()
+	}
+}
+
+// AddSlice records every sample of vs.
+func (s *Sketch) AddSlice(vs []float64) {
+	for _, v := range vs {
+		s.Add(v)
+	}
+}
+
+// AddN records v with multiplicity c (no-op for c <= 0).
+func (s *Sketch) AddN(v float64, c int64) {
+	if c <= 0 {
+		return
+	}
+	if v == 0 {
+		v = 0
+	}
+	s.compact()
+	s.merge([]float64{v}, []int64{c})
+	s.n += c
+}
+
+// compact folds the pending samples into the run representation.
+func (s *Sketch) compact() {
+	if len(s.pend) == 0 {
+		return
+	}
+	sort.Float64s(s.pend)
+	vals := make([]float64, 0, len(s.pend))
+	counts := make([]int64, 0, len(s.pend))
+	for _, v := range s.pend {
+		if k := len(vals); k > 0 && vals[k-1] == v {
+			counts[k-1]++
+			continue
+		}
+		vals = append(vals, v)
+		counts = append(counts, 1)
+	}
+	s.pend = s.pend[:0]
+	s.merge(vals, counts)
+}
+
+// merge folds ascending runs (vals, counts) into the sketch's runs.
+func (s *Sketch) merge(vals []float64, counts []int64) {
+	s.cum = nil
+	if len(s.vals) == 0 {
+		s.vals = append([]float64(nil), vals...)
+		s.counts = append([]int64(nil), counts...)
+		return
+	}
+	mv := make([]float64, 0, len(s.vals)+len(vals))
+	mc := make([]int64, 0, len(s.counts)+len(counts))
+	i, j := 0, 0
+	for i < len(s.vals) || j < len(vals) {
+		switch {
+		case j == len(vals) || (i < len(s.vals) && s.vals[i] < vals[j]):
+			mv = append(mv, s.vals[i])
+			mc = append(mc, s.counts[i])
+			i++
+		case i == len(s.vals) || vals[j] < s.vals[i]:
+			mv = append(mv, vals[j])
+			mc = append(mc, counts[j])
+			j++
+		default: // equal values: one run, summed multiplicity
+			mv = append(mv, s.vals[i])
+			mc = append(mc, s.counts[i]+counts[j])
+			i++
+			j++
+		}
+	}
+	s.vals, s.counts = mv, mc
+}
+
+// Merge folds every sample of o into s. o is unchanged (its pending
+// buffer may be compacted in place, which does not alter its multiset).
+func (s *Sketch) Merge(o *Sketch) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	o.compact()
+	s.compact()
+	s.merge(o.vals, o.counts)
+	s.n += o.n
+}
+
+// Clone returns an independent copy of s.
+func (s *Sketch) Clone() *Sketch {
+	s.compact()
+	return &Sketch{
+		vals:   append([]float64(nil), s.vals...),
+		counts: append([]int64(nil), s.counts...),
+		n:      s.n,
+	}
+}
+
+// N returns the number of samples recorded.
+func (s *Sketch) N() int64 { return s.n }
+
+// Runs returns the number of distinct values held.
+func (s *Sketch) Runs() int {
+	s.compact()
+	return len(s.vals)
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (s *Sketch) Min() float64 {
+	s.compact()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.vals[0]
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (s *Sketch) Max() float64 {
+	s.compact()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.vals[len(s.vals)-1]
+}
+
+// Sum returns the canonical sample sum: Σ value×count over the runs in
+// ascending order. Because the runs are a pure function of the
+// multiset, the sum is bit-identical however the samples were
+// partitioned — the property the streaming/in-memory equivalence rests
+// on. (It may differ by ulps from naively summing the samples in
+// insertion order; both analysis paths therefore use this form.)
+func (s *Sketch) Sum() float64 {
+	s.compact()
+	sum := 0.0
+	for i, v := range s.vals {
+		sum += v * float64(s.counts[i])
+	}
+	return sum
+}
+
+// Mean returns Sum()/N(), or 0 when empty.
+func (s *Sketch) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Sum() / float64(s.n)
+}
+
+// rank returns the i-th smallest sample (0-based).
+func (s *Sketch) rank(i int64) float64 {
+	if s.cum == nil {
+		s.cum = make([]int64, len(s.counts))
+		run := int64(0)
+		for k, c := range s.counts {
+			run += c
+			s.cum[k] = run
+		}
+	}
+	k := sort.Search(len(s.cum), func(k int) bool { return s.cum[k] > i })
+	return s.vals[k]
+}
+
+// Quantile returns the q-quantile using the same linear interpolation
+// between closest ranks as stats.Quantile, computed over the runs. It
+// returns 0 when empty.
+func (s *Sketch) Quantile(q float64) float64 {
+	s.compact()
+	if s.n == 0 {
+		return 0
+	}
+	if s.n == 1 {
+		return s.vals[0]
+	}
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	pos := q * float64(s.n-1)
+	lo := int64(math.Floor(pos))
+	frac := pos - float64(lo)
+	a := s.rank(lo)
+	b := s.rank(lo + 1)
+	return a*(1-frac) + b*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sketch) Median() float64 { return s.Quantile(0.5) }
+
+// Box computes Tukey box-plot statistics, replicating stats.Box over
+// the run representation (with the mean in canonical run order).
+func (s *Sketch) Box() BoxStats {
+	s.compact()
+	if s.n == 0 {
+		return BoxStats{}
+	}
+	b := BoxStats{
+		Mean:   s.Mean(),
+		Q1:     s.Quantile(0.25),
+		Median: s.Quantile(0.5),
+		Q3:     s.Quantile(0.75),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.WhiskerLow = b.Q3
+	b.WhiskerHigh = b.Q1
+	for i, v := range s.vals {
+		if v < loFence || v > hiFence {
+			b.Outliers += int(s.counts[i])
+			continue
+		}
+		if v < b.WhiskerLow {
+			b.WhiskerLow = v
+		}
+		if v > b.WhiskerHigh {
+			b.WhiskerHigh = v
+		}
+	}
+	return b
+}
+
+// Points returns n (x, F(x)) pairs evenly spaced in probability, the
+// same curve CDF.Points draws.
+func (s *Sketch) Points(n int) (xs, ps []float64) {
+	s.compact()
+	if n < 2 || s.n == 0 {
+		return nil, nil
+	}
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		ps[i] = p
+		xs[i] = s.Quantile(p)
+	}
+	return xs, ps
+}
+
+// Moments is a mergeable count/sum/min/max accumulator — the cheap
+// companion to Sketch for KPIs that need no quantiles. Count, Min and
+// Max merge exactly (associative and commutative); Sum is a float
+// accumulation whose merge is associative/commutative only up to
+// rounding, so bit-critical reductions use Sketch.Sum instead.
+type Moments struct {
+	Count int64
+	Sum   float64
+	MinV  float64
+	MaxV  float64
+}
+
+// Add records one observation.
+func (m *Moments) Add(v float64) {
+	if m.Count == 0 || v < m.MinV {
+		m.MinV = v
+	}
+	if m.Count == 0 || v > m.MaxV {
+		m.MaxV = v
+	}
+	m.Count++
+	m.Sum += v
+}
+
+// Merge folds o into m.
+func (m *Moments) Merge(o Moments) {
+	if o.Count == 0 {
+		return
+	}
+	if m.Count == 0 {
+		*m = o
+		return
+	}
+	if o.MinV < m.MinV {
+		m.MinV = o.MinV
+	}
+	if o.MaxV > m.MaxV {
+		m.MaxV = o.MaxV
+	}
+	m.Count += o.Count
+	m.Sum += o.Sum
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (m Moments) Mean() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.Count)
+}
+
+// Merge folds o's counts into h. The histograms must share bucket
+// geometry ([Lo, Hi) and bin count); integer counts make the merge
+// exactly associative and commutative.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("stats: histogram merge geometry mismatch: [%g,%g)x%d vs [%g,%g)x%d",
+			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	h.total += o.total
+	return nil
+}

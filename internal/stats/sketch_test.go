@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomSamples draws n samples with repeated values and signed zeros
+// mixed in, so the run representation is actually exercised.
+func randomSamples(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		switch rng.Intn(10) {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = math.Copysign(0, -1) // -0.0 must normalize
+		case 2:
+			out[i] = float64(rng.Intn(5)) // force duplicate runs
+		default:
+			out[i] = rng.NormFloat64() * 50
+		}
+	}
+	return out
+}
+
+func sketchOf(vs []float64) *Sketch {
+	s := NewSketch()
+	s.AddSlice(vs)
+	return s
+}
+
+// equalSketch compares two sketches structurally (runs + counts).
+func equalSketch(t *testing.T, label string, a, b *Sketch) {
+	t.Helper()
+	a.compact()
+	b.compact()
+	if a.n != b.n {
+		t.Fatalf("%s: n %d != %d", label, a.n, b.n)
+	}
+	if !reflect.DeepEqual(a.vals, b.vals) || !reflect.DeepEqual(a.counts, b.counts) {
+		t.Fatalf("%s: run representation differs", label)
+	}
+}
+
+// TestSketchMergeLaws property-tests the merge algebra the streaming
+// analyzer's exactness argument rests on: identity, commutativity and
+// associativity must hold *structurally* (identical runs), so every
+// derived statistic is bit-identical under any merge tree.
+func TestSketchMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		xs := randomSamples(rng, rng.Intn(200))
+		ys := randomSamples(rng, rng.Intn(200))
+		zs := randomSamples(rng, rng.Intn(200))
+
+		// Identity: s ⊕ empty == s.
+		id := sketchOf(xs)
+		id.Merge(NewSketch())
+		equalSketch(t, "identity", id, sketchOf(xs))
+
+		// Commutativity: x ⊕ y == y ⊕ x.
+		xy := sketchOf(xs)
+		xy.Merge(sketchOf(ys))
+		yx := sketchOf(ys)
+		yx.Merge(sketchOf(xs))
+		equalSketch(t, "commutativity", xy, yx)
+
+		// Associativity: (x ⊕ y) ⊕ z == x ⊕ (y ⊕ z).
+		left := sketchOf(xs)
+		left.Merge(sketchOf(ys))
+		left.Merge(sketchOf(zs))
+		right := sketchOf(ys)
+		right.Merge(sketchOf(zs))
+		rightTotal := sketchOf(xs)
+		rightTotal.Merge(right)
+		equalSketch(t, "associativity", left, rightTotal)
+
+		// Partition invariance: merging per-element singletons in a
+		// shuffled order reproduces the bulk sketch exactly.
+		all := append(append(append([]float64(nil), xs...), ys...), zs...)
+		perm := rng.Perm(len(all))
+		shuffled := NewSketch()
+		for _, i := range perm {
+			shuffled.Add(all[i])
+		}
+		equalSketch(t, "partition invariance", shuffled, sketchOf(all))
+	}
+}
+
+// TestSketchMatchesCDF pins every Sketch statistic against the
+// slice-based stats implementations it replicates.
+func TestSketchMatchesCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		xs := randomSamples(rng, 1+rng.Intn(300))
+		s := sketchOf(xs)
+		c := NewCDF(xs)
+		if int64(c.N()) != s.N() {
+			t.Fatalf("N: %d != %d", s.N(), c.N())
+		}
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			if got, want := s.Quantile(q), c.Quantile(q); got != want {
+				t.Fatalf("Quantile(%g): %v != %v", q, got, want)
+			}
+		}
+		sx, sp := s.Points(101)
+		cx, cp := c.Points(101)
+		if !reflect.DeepEqual(sx, cx) || !reflect.DeepEqual(sp, cp) {
+			t.Fatalf("Points(101) differ")
+		}
+		// Box replicates the fences/whiskers/outlier logic; the mean is
+		// canonical (ascending-run order) so compare it to the sorted sum.
+		sb, cb := s.Box(), c.Box()
+		if sb.Q1 != cb.Q1 || sb.Median != cb.Median || sb.Q3 != cb.Q3 ||
+			sb.WhiskerLow != cb.WhiskerLow || sb.WhiskerHigh != cb.WhiskerHigh ||
+			sb.Outliers != cb.Outliers {
+			t.Fatalf("Box: %+v != %+v", sb, cb)
+		}
+		if math.Abs(sb.Mean-cb.Mean) > 1e-9*(1+math.Abs(cb.Mean)) {
+			t.Fatalf("Box mean: %v vs %v", sb.Mean, cb.Mean)
+		}
+		if got, want := s.Min(), Min(xs); got != want {
+			t.Fatalf("Min: %v != %v", got, want)
+		}
+		if got, want := s.Max(), Max(xs); got != want {
+			t.Fatalf("Max: %v != %v", got, want)
+		}
+		if got, want := s.Mean(), Mean(xs); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("Mean: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestSketchEmptyAndSingle(t *testing.T) {
+	e := NewSketch()
+	if e.Mean() != 0 || e.Median() != 0 || e.Sum() != 0 || e.Min() != 0 || e.Max() != 0 {
+		t.Fatal("empty sketch statistics must be 0")
+	}
+	if xs, ps := e.Points(101); xs != nil || ps != nil {
+		t.Fatal("empty sketch Points must be nil")
+	}
+	one := sketchOf([]float64{3.5})
+	for _, q := range []float64{0, 0.5, 1} {
+		if one.Quantile(q) != 3.5 {
+			t.Fatalf("single-sample quantile(%g) = %v", q, one.Quantile(q))
+		}
+	}
+}
+
+func TestSketchAddN(t *testing.T) {
+	a := NewSketch()
+	a.AddN(2, 3)
+	a.AddN(1, 1)
+	a.AddN(2, 0) // no-op
+	b := sketchOf([]float64{2, 2, 1, 2})
+	equalSketch(t, "AddN", a, b)
+}
+
+// TestMomentsMergeLaws checks the exact laws on Count/Min/Max and the
+// documented up-to-rounding laws on Sum.
+func TestMomentsMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	acc := func(vs []float64) Moments {
+		var m Moments
+		for _, v := range vs {
+			m.Add(v)
+		}
+		return m
+	}
+	for trial := 0; trial < 50; trial++ {
+		xs := randomSamples(rng, rng.Intn(100))
+		ys := randomSamples(rng, rng.Intn(100))
+		zs := randomSamples(rng, rng.Intn(100))
+
+		id := acc(xs)
+		id.Merge(Moments{})
+		if id != acc(xs) {
+			t.Fatal("Moments identity violated")
+		}
+
+		xy := acc(xs)
+		xy.Merge(acc(ys))
+		yx := acc(ys)
+		yx.Merge(acc(xs))
+		left := acc(xs)
+		left.Merge(acc(ys))
+		left.Merge(acc(zs))
+		right := acc(ys)
+		right.Merge(acc(zs))
+		rightTotal := acc(xs)
+		rightTotal.Merge(right)
+		for _, pair := range [][2]Moments{{xy, yx}, {left, rightTotal}} {
+			a, b := pair[0], pair[1]
+			if a.Count != b.Count || a.MinV != b.MinV || a.MaxV != b.MaxV {
+				t.Fatalf("Moments exact laws violated: %+v vs %+v", a, b)
+			}
+			if math.Abs(a.Sum-b.Sum) > 1e-9*(1+math.Abs(b.Sum)) {
+				t.Fatalf("Moments sum drifted: %v vs %v", a.Sum, b.Sum)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeLaws checks the integer-count merge algebra and the
+// geometry guard.
+func TestHistogramMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	build := func(vs []float64) *Histogram {
+		h := NewHistogram(-100, 100, 20)
+		for _, v := range vs {
+			h.Add(v)
+		}
+		return h
+	}
+	hEq := func(a, b *Histogram) bool {
+		return a.Under == b.Under && a.Over == b.Over && a.total == b.total &&
+			reflect.DeepEqual(a.Counts, b.Counts)
+	}
+	for trial := 0; trial < 30; trial++ {
+		xs := randomSamples(rng, rng.Intn(200))
+		ys := randomSamples(rng, rng.Intn(200))
+		zs := randomSamples(rng, rng.Intn(200))
+
+		id := build(xs)
+		if err := id.Merge(NewHistogram(-100, 100, 20)); err != nil {
+			t.Fatal(err)
+		}
+		if !hEq(id, build(xs)) {
+			t.Fatal("histogram identity violated")
+		}
+
+		xy := build(xs)
+		_ = xy.Merge(build(ys))
+		yx := build(ys)
+		_ = yx.Merge(build(xs))
+		if !hEq(xy, yx) {
+			t.Fatal("histogram commutativity violated")
+		}
+
+		left := build(xs)
+		_ = left.Merge(build(ys))
+		_ = left.Merge(build(zs))
+		right := build(ys)
+		_ = right.Merge(build(zs))
+		rightTotal := build(xs)
+		_ = rightTotal.Merge(right)
+		if !hEq(left, rightTotal) {
+			t.Fatal("histogram associativity violated")
+		}
+	}
+	if err := NewHistogram(0, 1, 4).Merge(NewHistogram(0, 2, 4)); err == nil {
+		t.Fatal("geometry mismatch must refuse to merge")
+	}
+}

@@ -66,7 +66,11 @@ func (r *LoadReport) String() string {
 // strings so the loader accepts field campaigns with networks or areas
 // the simulator does not model.
 type TestRow struct {
-	ID                           int
+	ID int
+	// Drive is the drive index the test window was carved from, or -1
+	// for artifacts predating the drive column (the scanner falls back
+	// to a route/start heuristic for those).
+	Drive                        int
 	Network, Kind, Route, State  string
 	StartS, DurationS            float64
 	Area                         string
@@ -99,15 +103,31 @@ func LoadTests(path string, mode Mode) ([]TestRow, *LoadReport, error) {
 // both modes; per-row problems fail in Strict mode and skip-and-count
 // in Lenient mode.
 func ReadTests(r io.Reader, name string, mode Mode, rep *LoadReport) ([]TestRow, error) {
+	var rows []TestRow
+	err := scanTestRows(r, name, mode, rep, func(row TestRow) error {
+		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// scanTestRows is the incremental core of ReadTests: each valid row is
+// handed to fn in file order instead of being accumulated. An error
+// from fn aborts the scan in both modes (it is the consumer speaking,
+// not the data).
+func scanTestRows(r io.Reader, name string, mode Mode, rep *LoadReport, fn func(TestRow) error) error {
 	cr := csv.NewReader(stripBOMReader(r))
 	cr.FieldsPerRecord = -1
 	cr.LazyQuotes = true
 	header, err := cr.Read()
 	if err == io.EOF {
-		return nil, fmt.Errorf("store: %s: empty tests file (no header)", name)
+		return fmt.Errorf("store: %s: empty tests file (no header)", name)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("store: %s: read header: %w", name, err)
+		return fmt.Errorf("store: %s: read header: %w", name, err)
 	}
 	col := make(map[string]int, len(header))
 	for i, h := range header {
@@ -115,12 +135,11 @@ func ReadTests(r io.Reader, name string, mode Mode, rep *LoadReport) ([]TestRow,
 	}
 	for _, need := range requiredTestColumns {
 		if _, ok := col[need]; !ok {
-			return nil, fmt.Errorf("store: %s: missing column %q", name, need)
+			return fmt.Errorf("store: %s: missing column %q", name, need)
 		}
 	}
 	rep.Files++
 
-	var rows []TestRow
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -133,7 +152,7 @@ func ReadTests(r io.Reader, name string, mode Mode, rep *LoadReport) ([]TestRow,
 				line = pe.Line
 			}
 			if ferr := failOrSkip(mode, rep, name, line, err); ferr != nil {
-				return nil, ferr
+				return ferr
 			}
 			continue
 		}
@@ -144,14 +163,16 @@ func ReadTests(r io.Reader, name string, mode Mode, rep *LoadReport) ([]TestRow,
 		row, err := parseTestRow(rec, header, col)
 		if err != nil {
 			if ferr := failOrSkip(mode, rep, name, line, err); ferr != nil {
-				return nil, ferr
+				return ferr
 			}
 			continue
 		}
-		rows = append(rows, row)
 		rep.Rows++
+		if err := fn(row); err != nil {
+			return err
+		}
 	}
-	return rows, nil
+	return nil
 }
 
 // failOrSkip applies the mode to one malformed row.
@@ -202,6 +223,14 @@ func parseTestRow(rec, header []string, col map[string]int) (TestRow, error) {
 			return row, fmt.Errorf("bad id %q", s)
 		}
 		row.ID = id
+	}
+	row.Drive = -1
+	if s, ok := get("drive"); ok {
+		d, err := strconv.Atoi(s)
+		if err != nil {
+			return row, fmt.Errorf("bad drive %q", s)
+		}
+		row.Drive = d
 	}
 	for _, f := range []struct {
 		name string

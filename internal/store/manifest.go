@@ -31,13 +31,29 @@ type FileInfo struct {
 	Rows int `json:"rows"`
 }
 
+// CampaignInfo records campaign-level totals that cannot be recovered
+// from the artifact rows alone (distance covers gaps between test
+// windows; drives without tests still count). The streaming analyzer
+// reads it to reproduce the dataset-summary bookkeeping figure from a
+// directory scan.
+type CampaignInfo struct {
+	Km       float64  `json:"km"`
+	TestMin  float64  `json:"test_min"`
+	Drives   int      `json:"drives"`
+	States   int      `json:"states"`
+	Networks []string `json:"networks,omitempty"`
+}
+
 // Manifest describes one complete artifact directory.
 type Manifest struct {
-	Schema int                 `json:"schema"`
-	Tool   string              `json:"tool"`
-	Seed   int64               `json:"seed"`
-	Scale  float64             `json:"scale"`
-	Files  map[string]FileInfo `json:"files"`
+	Schema int     `json:"schema"`
+	Tool   string  `json:"tool"`
+	Seed   int64   `json:"seed"`
+	Scale  float64 `json:"scale"`
+	// Campaign holds dataset-level provenance totals; nil for figure
+	// directories and for artifacts written before the field existed.
+	Campaign *CampaignInfo       `json:"campaign,omitempty"`
+	Files    map[string]FileInfo `json:"files"`
 }
 
 // NewManifest starts an empty manifest for the given provenance.

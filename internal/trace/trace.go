@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"satcell/internal/channel"
+	"satcell/internal/geo"
 )
 
 // csvHeader is the column layout of the trace CSV format.
@@ -23,6 +24,13 @@ var csvHeader = []string{
 	"at_ms", "down_mbps", "up_mbps", "rtt_ms",
 	"loss_down", "loss_up", "signal_db", "serving", "outage",
 }
+
+// csvEnvHeader is the optional trailing column group of the extended
+// trace layout written by WriteRecordsCSV: the drive environment (area
+// type, speed) and the burst-loss marker. The readers accept both the
+// base and the extended layout, so pre-extension artifacts keep
+// loading.
+var csvEnvHeader = []string{"area", "speed_kmh", "burst"}
 
 // WriteCSV writes tr in the satcell CSV trace format.
 func WriteCSV(w io.Writer, tr *channel.Trace) error {
@@ -43,6 +51,43 @@ func WriteCSV(w io.Writer, tr *channel.Trace) error {
 			strconv.FormatFloat(s.SignalDB, 'f', 2, 64),
 			s.Serving,
 			strconv.FormatBool(s.Outage),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRecordsCSV writes drive records in the extended trace layout:
+// the base columns plus area, speed_kmh and burst. Persisting the
+// environment and the burst marker makes the shard self-contained — the
+// streaming analyzer rebuilds area/speed figures and replays the fluid
+// TCP model from the file alone, without the generating process.
+func WriteRecordsCSV(w io.Writer, network channel.NetworkID, recs []channel.Record) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"network"}, csvHeader...)
+	header = append(header, csvEnvHeader...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range recs {
+		s := r.Sample
+		rec := []string{
+			network.String(),
+			strconv.FormatInt(s.At.Milliseconds(), 10),
+			strconv.FormatFloat(s.DownMbps, 'f', 3, 64),
+			strconv.FormatFloat(s.UpMbps, 'f', 3, 64),
+			strconv.FormatFloat(float64(s.RTT.Microseconds())/1000, 'f', 3, 64),
+			strconv.FormatFloat(s.LossDown, 'f', 6, 64),
+			strconv.FormatFloat(s.LossUp, 'f', 6, 64),
+			strconv.FormatFloat(s.SignalDB, 'f', 2, 64),
+			s.Serving,
+			strconv.FormatBool(s.Outage),
+			r.Env.Area.String(),
+			strconv.FormatFloat(r.Env.SpeedKmh, 'f', 2, 64),
+			strconv.FormatBool(s.Burst),
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("trace: write record: %w", err)
@@ -74,22 +119,59 @@ func ReadCSVLenient(r io.Reader, onSkip func(line int, err error)) (*channel.Tra
 const maxConsecutiveBadRows = 10000
 
 func readCSV(r io.Reader, lenient bool, onSkip func(int, error)) (*channel.Trace, error) {
+	tr := &channel.Trace{}
+	first := true
+	err := scanCSV(r, lenient, onSkip, func(n channel.NetworkID, rec channel.Record) error {
+		if !first && n != tr.Network {
+			return fmt.Errorf("network changed mid-trace: %v then %v", tr.Network, n)
+		}
+		if first {
+			tr.Network = n
+			first = false
+		}
+		tr.Samples = append(tr.Samples, rec.Sample)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ScanRecordsCSV streams a trace CSV (base or extended layout) row by
+// row without materializing the whole trace: fn receives each record's
+// network plus the reconstructed channel.Record (the environment fields
+// are zero for base-layout files). An error returned by fn counts as a
+// malformed row — fatal in strict mode, skip-and-report in lenient
+// mode. This is the incremental reader under store.ScanTrace and the
+// streaming analyzer's shard scan.
+func ScanRecordsCSV(r io.Reader, lenient bool, onSkip func(line int, err error), fn func(channel.NetworkID, channel.Record) error) error {
+	return scanCSV(r, lenient, onSkip, fn)
+}
+
+func scanCSV(r io.Reader, lenient bool, onSkip func(int, error), fn func(channel.NetworkID, channel.Record) error) error {
 	cr := csv.NewReader(stripBOM(r))
 	cr.FieldsPerRecord = -1 // field counts are validated per record below
 	cr.LazyQuotes = true
 	header, err := cr.Read()
 	if err == io.EOF {
-		return nil, errors.New("trace: empty trace file (no header)")
+		return errors.New("trace: empty trace file (no header)")
 	}
 	if err != nil {
-		return nil, fmt.Errorf("trace: read header: %w", err)
+		return fmt.Errorf("trace: read header: %w", err)
 	}
 	if strings.TrimSpace(header[0]) != "network" {
-		return nil, fmt.Errorf("trace: unexpected header %q", header[0])
+		return fmt.Errorf("trace: unexpected header %q", header[0])
 	}
 	wantFields := len(csvHeader) + 1
-	tr := &channel.Trace{}
-	first := true
+	switch len(header) {
+	case wantFields: // base layout
+	case wantFields + len(csvEnvHeader): // extended layout with env columns
+		wantFields += len(csvEnvHeader)
+	default:
+		return fmt.Errorf("trace: unexpected header: %d columns (want %d or %d)",
+			len(header), wantFields, wantFields+len(csvEnvHeader))
+	}
 	bad := 0
 	skip := func(line int, rowErr error) error {
 		if !lenient {
@@ -116,7 +198,7 @@ func readCSV(r io.Reader, lenient bool, onSkip func(int, error)) (*channel.Trace
 				line = pe.Line
 			}
 			if serr := skip(line, fmt.Errorf("trace: line %d: %w", line, err)); serr != nil {
-				return nil, serr
+				return serr
 			}
 			continue
 		}
@@ -124,24 +206,19 @@ func readCSV(r io.Reader, lenient bool, onSkip func(int, error)) (*channel.Trace
 			continue // trailing blank / whitespace-only lines are not data
 		}
 		line, _ := cr.FieldPos(0)
-		s, n, err := parseRecord(rec, wantFields)
-		if err == nil && !first && n != tr.Network {
-			err = fmt.Errorf("network changed mid-trace: %v then %v", tr.Network, n)
+		row, n, err := parseRecord(rec, wantFields)
+		if err == nil {
+			err = fn(n, row)
 		}
 		if err != nil {
 			if serr := skip(line, fmt.Errorf("trace: line %d: %w", line, err)); serr != nil {
-				return nil, serr
+				return serr
 			}
 			continue
 		}
 		bad = 0
-		if first {
-			tr.Network = n
-			first = false
-		}
-		tr.Samples = append(tr.Samples, s)
 	}
-	return tr, nil
+	return nil
 }
 
 // stripBOM removes a leading UTF-8 byte-order mark, which spreadsheet
@@ -160,19 +237,43 @@ func blankRecord(rec []string) bool {
 	return len(rec) == 1 && strings.TrimSpace(rec[0]) == ""
 }
 
-// parseRecord validates and parses one data record (network + sample).
-// The network column resolves against the default catalog, so traces of
-// custom registered networks load like the built-in five.
-func parseRecord(rec []string, wantFields int) (channel.Sample, channel.NetworkID, error) {
+// parseRecord validates and parses one data record (network + sample,
+// plus the environment columns in the extended layout). The network
+// column resolves against the default catalog, so traces of custom
+// registered networks load like the built-in five.
+func parseRecord(rec []string, wantFields int) (channel.Record, channel.NetworkID, error) {
 	if len(rec) != wantFields {
-		return channel.Sample{}, channel.NetworkInvalid, fmt.Errorf("%d fields, want %d", len(rec), wantFields)
+		return channel.Record{}, channel.NetworkInvalid, fmt.Errorf("%d fields, want %d", len(rec), wantFields)
 	}
 	n, err := channel.ParseNetwork(strings.TrimSpace(rec[0]))
 	if err != nil {
-		return channel.Sample{}, channel.NetworkInvalid, err
+		return channel.Record{}, channel.NetworkInvalid, err
 	}
 	s, err := parseSample(rec[1:])
-	return s, n, err
+	if err != nil {
+		return channel.Record{}, n, err
+	}
+	out := channel.Record{Sample: s}
+	out.Env.At = s.At
+	if wantFields > len(csvHeader)+1 {
+		ext := rec[len(csvHeader)+1:]
+		area, ok := geo.ParseArea(strings.TrimSpace(ext[0]))
+		if !ok {
+			return channel.Record{}, n, fmt.Errorf("bad area %q", ext[0])
+		}
+		out.Env.Area = area
+		speed, err := strconv.ParseFloat(strings.TrimSpace(ext[1]), 64)
+		if err != nil {
+			return channel.Record{}, n, fmt.Errorf("bad speed_kmh %q: %w", ext[1], err)
+		}
+		out.Env.SpeedKmh = speed
+		burst, err := strconv.ParseBool(strings.TrimSpace(ext[2]))
+		if err != nil {
+			return channel.Record{}, n, fmt.Errorf("bad burst %q: %w", ext[2], err)
+		}
+		out.Sample.Burst = burst
+	}
+	return out, n, nil
 }
 
 func parseSample(rec []string) (channel.Sample, error) {

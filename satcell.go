@@ -173,6 +173,17 @@ type FigureOptions struct {
 	// Catalog classifies the dataset's networks (nil means the default
 	// catalog); pass the scenario's catalog when it was a clone.
 	Catalog *Catalog
+	// Workers > 0 computes the streamable analyses (every figure except
+	// the packet-level fig10/fig11 replays) through the sharded
+	// worker-pool pipeline with that many workers. The output is
+	// bit-identical to the default in-memory path for every worker
+	// count; only peak memory and wall-clock change. 0 keeps the
+	// classic single-pass analyzer.
+	Workers int
+	// Metrics, when non-nil and Workers > 0, receives live streaming
+	// progress (shard/row counters, per-worker attribution). It never
+	// affects the figures.
+	Metrics *obs.Registry
 }
 
 // Figures regenerates every figure of the paper keyed by ID ("fig1",
@@ -181,6 +192,16 @@ func (w *World) Figures(ds *Dataset, opts FigureOptions) map[string]*Figure {
 	mp := core.MultipathConfig{
 		WindowSeconds: opts.MultipathWindowSeconds,
 		Windows:       opts.MultipathWindows,
+	}
+	if opts.Workers > 0 {
+		figs, err := core.AllFiguresStreaming(ds, mp, opts.Catalog, opts.Workers, opts.Metrics)
+		if err == nil {
+			return figs
+		}
+		// Streaming an in-memory dataset only fails when the dataset is
+		// malformed (a test claiming an out-of-range drive); the classic
+		// path below ignores drive bookkeeping entirely, so it still
+		// produces figures.
 	}
 	return core.AllFiguresCatalog(ds, mp, opts.Catalog)
 }
