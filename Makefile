@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race chaos bench bench-json fsck-suite obs-suite scenario-suite streaming-suite
+.PHONY: check build vet fmt test race chaos chaos-stream bench bench-json fsck-suite obs-suite scenario-suite streaming-suite
 
 check: build vet fmt test race
 
@@ -61,6 +61,16 @@ fsck-suite:
 # goroutine hygiene under the race detector.
 chaos:
 	$(GO) test -race -run Chaos -v -count=1 ./internal/faults/
+
+# The disk-fault chaos suite streams fault-injected dataset directories
+# (scripted read errors, torn renames, ENOSPC) through the degrading
+# supervisor: exact-quarantine byte-equivalence against a clean corpus
+# minus the poisoned drives, retry healing, strict aborts, mid-stream
+# cancellation hygiene and panic fences — under the race detector, at
+# the worker counts SATCELL_STREAM_WORKERS selects (CI pins 1 and 4).
+chaos-stream:
+	$(GO) test -race -run 'Chaos|FaultFS|IOInjector|IOSchedule' -v -count=1 \
+		./internal/core/ ./internal/store/ ./internal/faults/
 
 # The scenario suite exercises the open network catalog and the
 # declarative campaign layer: catalog registration/round-trip/builder

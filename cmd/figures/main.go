@@ -33,7 +33,7 @@ func main() {
 		expOnly  = flag.Bool("experiments", false, "print only the paper-vs-measured table")
 		mpWin    = flag.Int("mp-window", 300, "MPTCP replay window (seconds)")
 		mpN      = flag.Int("mp-windows", 3, "MPTCP replay window count")
-		workers  = flag.Int("workers", 0, "worker goroutines for generation and the streaming analysis phase (0 = all generation cores with the classic in-memory analyzer; output is identical for any value)")
+		workers  = flag.Int("workers", 0, "worker goroutines for generation and the streaming analysis phase; 0 = one per core (GOMAXPROCS) for generation with the classic in-memory analyzer, >0 also streams the analysis, negative is rejected; output is identical for any value")
 		outDir   = flag.String("out", "", "also write figure data as manifested CSV artifacts into this directory")
 		netList  = flag.String("networks", "", "comma-separated network subset to measure (default: every catalog network)")
 		scenario = flag.String("scenario", "", "scenario spec, e.g. networks=RM,MOB;kinds=udp-down;seed=7 (overrides -networks)")
@@ -42,6 +42,11 @@ func main() {
 
 	sc, err := scenarioFromFlags(*scenario, *netList)
 	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	// Validate only: 0 keeps its classic-analyzer meaning here, so the
+	// normalised value is not substituted back.
+	if _, err := satcell.ValidateWorkers(*workers); err != nil {
 		logger.Fatalf("%v", err)
 	}
 	world := satcell.NewWorld(*seed)

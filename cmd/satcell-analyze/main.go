@@ -19,7 +19,14 @@
 // in MANIFEST order by -workers goroutines, partial aggregates merge in
 // a fixed order, and the full figure set prints without the directory
 // ever being resident in memory at once. Output is identical for every
-// -workers value.
+// -workers value. The run degrades instead of aborting: shards with
+// transient I/O errors are retried, shards that stay bad are
+// quarantined, and every run prints a completeness certificate. A
+// SIGINT cancels the scan cleanly and still flushes the event ring.
+//
+// Exit codes for -stream: 0 = complete analysis, 1 = fatal (structural
+// error, strict-mode abort, interrupt), 3 = partial analysis with
+// quarantined shards (figures rendered, certificate itemises the loss).
 //
 //	drivegen -scale 0.1 -out data
 //	satcell-analyze -tests data/tests.csv
@@ -29,9 +36,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"satcell/internal/core"
 	"satcell/internal/dataset"
@@ -46,13 +55,14 @@ var logger = obs.NewLogger("satcell-analyze")
 
 func main() {
 	var (
-		path    = flag.String("tests", "data/tests.csv", "tests.csv produced by drivegen (or a field campaign)")
-		kind    = flag.String("kind", "udp-down", "test kind to analyse")
-		strict  = flag.Bool("strict", false, "abort on the first malformed row instead of skip-and-count")
-		fsck    = flag.String("fsck", "", "verify a dataset directory (manifest, checksums, schema, timestamps) and exit")
-		events  = flag.String("events", "", "render a JSONL event trace (mpshell -events-out) as a timeline and exit")
-		stream  = flag.String("stream", "", "stream a dataset directory (drivegen -out) through the sharded figure pipeline and exit")
-		workers = flag.Int("workers", 1, "worker goroutines for -stream (figures are identical for any value)")
+		path      = flag.String("tests", "data/tests.csv", "tests.csv produced by drivegen (or a field campaign)")
+		kind      = flag.String("kind", "udp-down", "test kind to analyse")
+		strict    = flag.Bool("strict", false, "abort on the first malformed row instead of skip-and-count")
+		fsck      = flag.String("fsck", "", "verify a dataset directory (manifest, checksums, schema, timestamps) and exit")
+		events    = flag.String("events", "", "render a JSONL event trace (mpshell -events-out) as a timeline and exit")
+		stream    = flag.String("stream", "", "stream a dataset directory (drivegen -out) through the sharded figure pipeline and exit")
+		workers   = flag.Int("workers", 0, "worker goroutines for -stream; 0 = one per core (GOMAXPROCS), negative is rejected; figures are identical for any value")
+		eventsOut = flag.String("events-out", "", "with -stream: write the run's event trace (retries, quarantines) as JSONL to this file on shutdown, SIGINT included")
 	)
 	flag.Parse()
 
@@ -70,8 +80,11 @@ func main() {
 		mode = store.Strict
 	}
 	if *stream != "" {
-		runStream(*stream, mode, *workers)
-		return
+		w, err := core.ValidateWorkers(*workers)
+		if err != nil {
+			logger.Fatalf("stream: %v", err)
+		}
+		os.Exit(runStream(*stream, mode, w, *eventsOut))
 	}
 	rows, rep, err := store.LoadTests(*path, mode)
 	if err != nil {
@@ -197,27 +210,79 @@ func analyzedNetworks(rows []store.TestRow) []string {
 }
 
 // runStream analyses a dataset directory with the sharded streaming
-// pipeline and prints the full figure set plus the scan's data-health
-// line.
-func runStream(dir string, mode store.Mode, workers int) {
+// pipeline and prints the full figure set, the scan's data-health line
+// and the run's completeness certificate. The returned exit code is 0
+// for a complete run, 3 for a partial run with quarantined shards and
+// 1 for a fatal error (including an interrupt). A SIGINT cancels the
+// supervisor's context — workers drain, nothing leaks — and the event
+// ring still flushes to -events-out.
+func runStream(dir string, mode store.Mode, workers int, eventsOut string) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	reg := obs.NewRegistry()
+	events := obs.NewTracer(0)
+	flushEvents := func() {
+		if eventsOut == "" {
+			return
+		}
+		f, err := os.Create(eventsOut)
+		if err != nil {
+			logger.Errorf("events: %v", err)
+			return
+		}
+		if err := events.WriteJSONL(f); err != nil {
+			f.Close()
+			logger.Errorf("events: %v", err)
+			return
+		}
+		if err := f.Close(); err != nil {
+			logger.Errorf("events: %v", err)
+			return
+		}
+		logger.Infof("event trace: %d events -> %s (%d overwritten by ring wrap)",
+			events.Total()-events.Dropped(), eventsOut, events.Dropped())
+	}
+
 	src, err := core.OpenStoreSource(dir, mode)
 	if err != nil {
-		logger.Fatalf("stream: %v", err)
+		logger.Errorf("stream: %v", err)
+		return 1
 	}
-	sa, err := core.StreamAnalyze(src, core.StreamOptions{Workers: workers})
+	sa, err := core.StreamAnalyzeContext(ctx, src, core.StreamOptions{
+		Workers: workers,
+		Strict:  mode == store.Strict,
+		Metrics: reg,
+		Events:  events,
+	})
 	if err != nil {
-		logger.Fatalf("stream: %v", err)
+		flushEvents()
+		if ctx.Err() != nil {
+			logger.Warnf("stream: interrupted, scan cancelled cleanly: %v", err)
+		} else {
+			logger.Errorf("stream: %v", err)
+		}
+		return 1
 	}
 	figs := sa.Figures()
 	for _, id := range core.FigureIDs(figs) {
 		fmt.Print(figs[id].Render())
 		fmt.Println()
 	}
-	fmt.Printf("streamed %d rows (%d skipped) with %d workers\n",
-		src.Report.Rows, src.Report.Skipped, workers)
+	comp := sa.Completeness()
+	fmt.Print(core.CompletenessFigure(comp).Render())
+	fmt.Println()
+	fmt.Printf("streamed %d rows (%d skipped) with %d workers: %s\n",
+		src.Report.Rows, src.Report.Skipped, workers, comp)
 	for _, re := range src.Report.Errors {
 		fmt.Printf("  skipped %s:%d: %s\n", re.File, re.Line, re.Err)
 	}
+	flushEvents()
+	if !comp.Complete() {
+		logger.Warnf("stream: partial analysis: %v", comp.Err())
+		return 3
+	}
+	return 0
 }
 
 // runFsck audits a dataset directory and exits non-zero on findings.

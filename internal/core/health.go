@@ -45,3 +45,38 @@ func DataHealthFigure(files, rows, skipped int, outcomes map[string]int) *Figure
 	}
 	return f
 }
+
+// CompletenessFigure renders a streamed run's ingestion certificate as
+// a Figure, next to the numbers a partial scan could have distorted:
+// shards planned/scanned/retried/quarantined as KPIs, plus one note
+// per quarantined shard naming the failure class and cause.
+func CompletenessFigure(c *Completeness) *Figure {
+	f := &Figure{
+		ID:     "completeness",
+		Title:  "Streamed scan completeness certificate",
+		Kind:   Bars,
+		YLabel: "shards",
+	}
+	f.addKPI("shards_planned", float64(c.ShardsPlanned))
+	f.addKPI("shards_scanned", float64(c.ShardsScanned))
+	f.addKPI("shards_retried", float64(c.ShardsRetried))
+	f.addKPI("retries", float64(c.Retries))
+	f.addKPI("shards_quarantined", float64(c.ShardsQuarantined))
+	f.addKPI("recovered_panics", float64(c.RecoveredPanics))
+	complete := 0.0
+	if c.Complete() {
+		complete = 1
+	}
+	f.addKPI("complete", complete)
+	f.Series = append(f.Series, Series{
+		Label: "shards",
+		X:     []float64{0, 1, 2},
+		Y: []float64{float64(c.ShardsPlanned), float64(c.ShardsScanned),
+			float64(c.ShardsQuarantined)},
+	})
+	f.Notes = append(f.Notes, c.String())
+	for _, q := range c.Quarantined {
+		f.Notes = append(f.Notes, "quarantined "+q.String())
+	}
+	return f
+}

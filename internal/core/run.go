@@ -45,13 +45,16 @@ func AllFiguresCatalog(ds *dataset.Dataset, mp MultipathConfig, cat *channel.Cat
 // AllFiguresStreaming produces the same figure map as AllFiguresCatalog
 // but computes the streamable analyses (everything except the
 // packet-level fig10/fig11 replays) through the sharded worker-pool
-// pipeline. Output is bit-identical to AllFiguresCatalog for every
-// worker count; only peak memory and wall-clock change.
-func AllFiguresStreaming(ds *dataset.Dataset, mp MultipathConfig, cat *channel.Catalog, workers int, metrics *obs.Registry) (map[string]*Figure, error) {
+// pipeline, and returns the run's completeness certificate alongside.
+// Output is bit-identical to AllFiguresCatalog for every worker count;
+// only peak memory and wall-clock change. The in-memory source cannot
+// fail a shard, so the certificate is complete by construction — it is
+// returned anyway so every streamed figure set carries one.
+func AllFiguresStreaming(ds *dataset.Dataset, mp MultipathConfig, cat *channel.Catalog, workers int, metrics *obs.Registry) (map[string]*Figure, *Completeness, error) {
 	sa, err := StreamAnalyze(&DatasetSource{DS: ds},
-		StreamOptions{Workers: workers, Catalog: cat, Metrics: metrics})
+		StreamOptions{Workers: workers, Catalog: cat, Metrics: metrics, Strict: true})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := sa.Figures()
 	a := NewAnalyzer(ds)
@@ -59,7 +62,7 @@ func AllFiguresStreaming(ds *dataset.Dataset, mp MultipathConfig, cat *channel.C
 	for _, f := range []*Figure{a.Figure10(mp), a.Figure11(mp)} {
 		out[f.ID] = f
 	}
-	return out, nil
+	return out, sa.Completeness(), nil
 }
 
 // FigureIDs returns the sorted figure identifiers of a figure map.

@@ -1,9 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io/fs"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"satcell/internal/channel"
 	"satcell/internal/dataset"
@@ -12,15 +18,22 @@ import (
 	"satcell/internal/stats"
 )
 
-// This file is the streaming analysis path: a worker pool folds the
-// campaign shard by shard (one drive per shard) into mergeable partial
-// aggregates, an exact merge combines the partials, and the shared
-// figure builders (figbuild.go) render from the merged state. Because
-// every floating-point reduction lives in a canonical stats.Sketch and
-// every other aggregate is an integer counter or a set, the merged
-// state — and therefore every rendered byte — is identical for any
-// worker count and any shard-to-worker interleaving. Peak memory is
+// This file is the streaming analysis path: a supervisor feeds planned
+// shard refs to a worker pool, each worker loads and folds its shard
+// (one drive per shard) into mergeable partial aggregates, an exact
+// merge combines the partials, and the shared figure builders
+// (figbuild.go) render from the merged state. Because every
+// floating-point reduction lives in a canonical stats.Sketch and every
+// other aggregate is an integer counter or a set, the merged state —
+// and therefore every rendered byte — is identical for any worker
+// count and any shard-to-worker interleaving. Peak memory is
 // O(largest shard + sketches), never O(dataset).
+//
+// The supervisor degrades instead of aborting: a shard whose load hits
+// a transient I/O error is retried with capped backoff, a shard that
+// stays bad (or panics the accumulator) is quarantined, and every run
+// carries a Completeness certificate itemising exactly what was lost.
+// Strict mode keeps the original abort-on-first-error contract.
 
 // Shard is one unit of streaming work: a single drive's records (per
 // network, in drive order) and the tests carved from it.
@@ -48,13 +61,30 @@ type SourceInfo struct {
 	TotalKm, TotalTestMin float64
 }
 
-// ShardSource yields a campaign's shards sequentially. Shards must
-// arrive in a deterministic order; the pipeline's result is provably
-// independent of that order, but deterministic production keeps
-// progress reporting and debugging sane.
+// ShardRef identifies one planned unit of streaming work before it is
+// loaded. Plan produces the full list up front so the supervisor can
+// retry, quarantine and certify shards individually.
+type ShardRef struct {
+	// Index is the ref's position in Plan order; it doubles as the
+	// shard's deterministic identity for retry jitter.
+	Index int
+	// Drive is the drive the shard covers.
+	Drive int
+	// Label names the shard in certificates and error messages.
+	Label string
+}
+
+// ShardSource is the streaming pipeline's data contract, split so the
+// cheap structural part (Plan: manifests, control files — fatal in
+// every mode) is separate from the heavy per-shard I/O (Load), which
+// the supervisor runs in workers with retry and quarantine. Plan is
+// called once, before any Load; Load must be safe for concurrent calls
+// with distinct refs and for repeated calls with the same ref
+// (retries).
 type ShardSource interface {
 	Info() (SourceInfo, error)
-	Shards(yield func(*Shard) error) error
+	Plan() ([]ShardRef, error)
+	Load(ref ShardRef) (*Shard, error)
 }
 
 // DatasetSource adapts an in-memory dataset to the streaming pipeline,
@@ -63,6 +93,8 @@ type ShardSource interface {
 // than memory bounds; StoreSource is the bounded-memory scan.
 type DatasetSource struct {
 	DS *dataset.Dataset
+
+	byDrive [][]*dataset.Test
 }
 
 // Info implements ShardSource.
@@ -77,28 +109,33 @@ func (s *DatasetSource) Info() (SourceInfo, error) {
 	}, nil
 }
 
-// Shards implements ShardSource: one shard per drive, in drive order.
-func (s *DatasetSource) Shards(yield func(*Shard) error) error {
+// Plan implements ShardSource: one shard per drive, in drive order.
+func (s *DatasetSource) Plan() ([]ShardRef, error) {
 	ds := s.DS
 	byDrive := make([][]*dataset.Test, len(ds.Drives))
 	for i := range ds.Tests {
 		t := &ds.Tests[i]
 		if t.Drive < 0 || t.Drive >= len(ds.Drives) {
-			return fmt.Errorf("core: test %d claims drive %d of %d", t.ID, t.Drive, len(ds.Drives))
+			return nil, fmt.Errorf("core: test %d claims drive %d of %d", t.ID, t.Drive, len(ds.Drives))
 		}
 		byDrive[t.Drive] = append(byDrive[t.Drive], t)
 	}
-	for di := range ds.Drives {
-		d := &ds.Drives[di]
-		sh := &Shard{
-			Drive: di, Route: d.Route, State: d.State,
-			Records: d.Observed, Tests: byDrive[di],
-		}
-		if err := yield(sh); err != nil {
-			return err
-		}
+	s.byDrive = byDrive
+	refs := make([]ShardRef, len(ds.Drives))
+	for i := range ds.Drives {
+		refs[i] = ShardRef{Index: i, Drive: i,
+			Label: fmt.Sprintf("drive%03d_%s", i, ds.Drives[i].Route)}
 	}
-	return nil
+	return refs, nil
+}
+
+// Load implements ShardSource. In-memory loads cannot fail.
+func (s *DatasetSource) Load(ref ShardRef) (*Shard, error) {
+	d := &s.DS.Drives[ref.Drive]
+	return &Shard{
+		Drive: ref.Drive, Route: d.Route, State: d.State,
+		Records: d.Observed, Tests: s.byDrive[ref.Drive],
+	}, nil
 }
 
 // partial is one worker's mergeable aggregate state. Every field is
@@ -165,8 +202,12 @@ func kindIn(kinds []dataset.Kind, k dataset.Kind) bool {
 }
 
 // accumulate folds one shard into the partial. rows counts the records
-// and test windows consumed (for throughput metrics).
-func (p *partial) accumulate(sh *Shard, info SourceInfo, nets []channel.NetworkID) (rows int) {
+// and test windows consumed (for throughput metrics). incumbent is the
+// best timeline candidate already held outside p (the worker partial's,
+// when p is a per-shard local): a shard that cannot beat it skips the
+// expensive X/Y series copy. betterThan is a strict total order, so the
+// skip can never drop the campaign-wide winner.
+func (p *partial) accumulate(sh *Shard, info SourceInfo, nets []channel.NetworkID, incumbent *timelineData) (rows int) {
 	p.drives++
 	p.states[sh.State] = true
 
@@ -214,7 +255,7 @@ func (p *partial) accumulate(sh *Shard, info SourceInfo, nets []channel.NetworkI
 
 	// Timeline candidate: keep only the best seen so far.
 	cand := &timelineData{Drive: sh.Drive, Route: sh.Route, State: sh.State, Seconds: len(fixes)}
-	if cand.betterThan(p.timeline) {
+	if cand.betterThan(p.timeline) && cand.betterThan(incumbent) {
 		cand.X = make(map[channel.NetworkID][]float64, len(nets))
 		cand.Y = make(map[channel.NetworkID][]float64, len(nets))
 		for _, n := range nets {
@@ -314,15 +355,161 @@ func (p *partial) merge(o *partial) {
 
 // StreamOptions configures a streaming analysis run.
 type StreamOptions struct {
-	// Workers sets the pool size; values below 1 mean 1.
+	// Workers sets the pool size; 0 (or below) means one per core
+	// (GOMAXPROCS).
 	Workers int
 	// Catalog classifies the campaign's networks (nil = default).
 	Catalog *channel.Catalog
+	// Strict aborts the run on the first shard failure (the original
+	// contract — right for golden comparisons and CI gates). The default
+	// lenient mode retries transient failures and quarantines shards
+	// that stay bad, recording them in the Completeness certificate.
+	Strict bool
+	// MaxRetries caps per-shard reloads after a transient failure;
+	// 0 means the default (2), negative means no retries.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubled each
+	// attempt and capped at 20x, plus a deterministic jitter hashed from
+	// (shard, attempt) — never a shared RNG, so a replay backs off
+	// identically. 0 means the default (25ms).
+	RetryBackoff time.Duration
 	// Metrics, when non-nil, instruments the run live:
 	// stream.shards_total (gauge), stream.shards_done, stream.rows_done,
-	// stream.worker.NN.shards (counters) and stream.progress (gauge,
-	// fraction of shards done).
+	// stream.worker.NN.shards, stream.retries, stream.quarantined,
+	// stream.recovered_panics (counters) and stream.progress (gauge,
+	// fraction of shards settled).
 	Metrics *obs.Registry
+	// Events, when non-nil, records one shard-retry event per reload and
+	// one shard-quarantine event per dropped shard.
+	Events *obs.Tracer
+}
+
+const (
+	defaultMaxRetries   = 2
+	defaultRetryBackoff = 25 * time.Millisecond
+)
+
+func (o *StreamOptions) maxRetries() int {
+	if o.MaxRetries < 0 {
+		return 0
+	}
+	if o.MaxRetries == 0 {
+		return defaultMaxRetries
+	}
+	return o.MaxRetries
+}
+
+func (o *StreamOptions) retryBackoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return defaultRetryBackoff
+	}
+	return o.RetryBackoff
+}
+
+// ValidateWorkers normalises a -workers flag value: negative is an
+// error, 0 means one worker per core (GOMAXPROCS), positive passes
+// through unchanged.
+func ValidateWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("workers must be >= 0 (0 means one per core), got %d", n)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
+}
+
+// Shard-failure classes: the degradation taxonomy. Transient failures
+// (I/O: the disk may answer differently next time) are retried;
+// permanent ones (the bytes parse wrong and will keep parsing wrong)
+// and poison shards (they panic the pipeline) are quarantined at once.
+const (
+	FailTransient = "transient"
+	FailPermanent = "permanent"
+	FailPanic     = "panic"
+)
+
+// classifyShardErr assigns a shard error to the degradation taxonomy.
+// Anything wrapping an *fs.PathError came from the disk and is worth a
+// retry; everything else is a content problem that retrying cannot fix.
+func classifyShardErr(err error) string {
+	var pe *fs.PathError
+	if errors.As(err, &pe) {
+		return FailTransient
+	}
+	return FailPermanent
+}
+
+// ShardFailure itemises one shard the pipeline could not ingest.
+type ShardFailure struct {
+	// Index and Drive locate the shard in plan order; Shard is its label.
+	Index int
+	Drive int
+	Shard string
+	// Attempts counts loads tried (1 + retries); Class is the failure's
+	// taxonomy class (FailTransient exhausted its retries).
+	Attempts int
+	Class    string
+	Err      string
+}
+
+func (f ShardFailure) String() string {
+	return fmt.Sprintf("%s: %s after %d attempt(s): %s", f.Shard, f.Class, f.Attempts, f.Err)
+}
+
+// Completeness is the certificate attached to every streamed analysis:
+// exactly how much of the planned campaign reached the figures and
+// what was lost to which errors. A lenient run that quarantined shards
+// still renders figures — this is the itemised record that they are
+// partial.
+type Completeness struct {
+	// ShardsPlanned is the plan size; ShardsScanned the shards folded
+	// into the result.
+	ShardsPlanned int
+	ShardsScanned int
+	// ShardsRetried counts shards that needed at least one reload;
+	// Retries counts the reloads themselves.
+	ShardsRetried int
+	Retries       int
+	// ShardsQuarantined counts dropped shards, itemised in Quarantined;
+	// RecoveredPanics counts worker panics converted to quarantines.
+	ShardsQuarantined int
+	RecoveredPanics   int
+	Quarantined       []ShardFailure
+}
+
+// Complete reports whether every planned shard was ingested.
+func (c *Completeness) Complete() bool {
+	return c.ShardsScanned == c.ShardsPlanned && c.ShardsQuarantined == 0
+}
+
+// String renders the one-line certificate summary.
+func (c *Completeness) String() string {
+	s := fmt.Sprintf("%d/%d shards scanned", c.ShardsScanned, c.ShardsPlanned)
+	if c.Retries > 0 {
+		s += fmt.Sprintf(", %d retried (%d reloads)", c.ShardsRetried, c.Retries)
+	}
+	if c.ShardsQuarantined > 0 {
+		s += fmt.Sprintf(", %d quarantined", c.ShardsQuarantined)
+	}
+	if c.RecoveredPanics > 0 {
+		s += fmt.Sprintf(", %d recovered panics", c.RecoveredPanics)
+	}
+	return s
+}
+
+// Err returns nil for a complete run, else one error itemising every
+// quarantined shard.
+func (c *Completeness) Err() error {
+	if c.Complete() {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: partial analysis: %s", c.String())
+	for _, f := range c.Quarantined {
+		fmt.Fprintf(&b, "\n  %s", f)
+	}
+	return errors.New(b.String())
 }
 
 // StreamAnalysis is the merged result of a sharded campaign scan. It
@@ -332,7 +519,11 @@ type StreamAnalysis struct {
 	info    SourceInfo
 	catalog *channel.Catalog
 	p       *partial
+	comp    Completeness
 }
+
+// Completeness returns the run's ingestion certificate.
+func (sa *StreamAnalysis) Completeness() *Completeness { return &sa.comp }
 
 // streamFigureIDs lists the figures the streaming path produces.
 // Figure 10/11 (multipath scheduling) replay traces window by window
@@ -350,64 +541,251 @@ func StreamFigureIDs() []string { return append([]string(nil), streamFigureIDs..
 // all float reductions flow through canonical sketches, everything else
 // is exact integer arithmetic.
 func StreamAnalyze(src ShardSource, opts StreamOptions) (*StreamAnalysis, error) {
+	return StreamAnalyzeContext(context.Background(), src, opts)
+}
+
+// shardOutcome is the supervisor's record of one processed shard.
+type shardOutcome struct {
+	local    *partial
+	rows     int
+	attempts int
+	class    string
+	err      error
+}
+
+// loadShard calls src.Load with a panic fence: a source that panics
+// poisons only its shard, not the worker.
+func loadShard(src ShardSource, ref ShardRef) (sh *Shard, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh, err, panicked = nil, fmt.Errorf("core: load %s: panic: %v", ref.Label, r), true
+		}
+	}()
+	sh, err = src.Load(ref)
+	return
+}
+
+// accumulateShard folds sh into p behind the same panic fence. p is a
+// fresh local partial, so a mid-fold panic cannot half-poison worker
+// state; incumbent is the worker partial's current timeline best.
+func accumulateShard(p *partial, sh *Shard, info SourceInfo, incumbent *timelineData) (rows int, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, err, panicked = 0, fmt.Errorf("core: accumulate drive %d: panic: %v", sh.Drive, r), true
+		}
+	}()
+	rows = p.accumulate(sh, info, info.Networks, incumbent)
+	return
+}
+
+// backoffDelay is the wait before retry attempt n of shard index:
+// capped exponential growth plus a jitter hashed from (index, attempt)
+// rather than drawn from a shared RNG, so replays and different worker
+// interleavings back off identically.
+func backoffDelay(base time.Duration, index, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if ceil := base * 20; d > ceil {
+		d = ceil
+	}
+	h := uint64(index+1)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 28
+	return d + time.Duration(h%uint64(d/2+1))
+}
+
+// processShard loads and folds one shard, retrying transient load
+// failures with capped deterministic backoff. Panics (in the source or
+// the accumulator) become poison outcomes instead of killing the
+// worker. A context cancellation mid-backoff surfaces as a
+// context.Canceled outcome the supervisor discards.
+func processShard(ctx context.Context, src ShardSource, ref ShardRef, info SourceInfo,
+	cols []fig9Column, incumbent *timelineData, opts *StreamOptions,
+	onRetry func(ShardRef, int, error)) shardOutcome {
+
+	out := shardOutcome{}
+	for {
+		out.attempts++
+		sh, err, panicked := loadShard(src, ref)
+		if err == nil {
+			local := newPartial(cols)
+			var rows int
+			rows, err, panicked = accumulateShard(local, sh, info, incumbent)
+			if err == nil {
+				// A healed retry must not carry the previous attempt's
+				// verdict out of the loop.
+				out.local, out.rows = local, rows
+				out.class, out.err = "", nil
+				return out
+			}
+		}
+		out.class, out.err = classifyShardErr(err), err
+		if panicked {
+			out.class = FailPanic
+		}
+		if out.class != FailTransient || out.attempts > opts.maxRetries() {
+			return out
+		}
+		onRetry(ref, out.attempts, err)
+		select {
+		case <-ctx.Done():
+			out.class, out.err = FailTransient, ctx.Err()
+			return out
+		case <-time.After(backoffDelay(opts.retryBackoff(), ref.Index, out.attempts)):
+		}
+	}
+}
+
+// StreamAnalyzeContext is StreamAnalyze under a context: cancellation
+// stops the supervisor promptly (no shard hand-off outlives ctx) and
+// every worker goroutine exits before the call returns, so a SIGINT
+// mid-campaign leaks nothing.
+func StreamAnalyzeContext(ctx context.Context, src ShardSource, opts StreamOptions) (*StreamAnalysis, error) {
 	info, err := src.Info()
+	if err != nil {
+		return nil, err
+	}
+	refs, err := src.Plan()
 	if err != nil {
 		return nil, err
 	}
 	workers := opts.Workers
 	if workers < 1 {
-		workers = 1
+		workers = runtime.GOMAXPROCS(0)
 	}
 	sa := &StreamAnalysis{info: info, catalog: opts.Catalog}
 	cols := fig9Columns(sa.cellulars(), sa.satellites())
 
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	start := time.Now()
+
 	shardsDone := opts.Metrics.Counter("stream.shards_done")
 	rowsDone := opts.Metrics.Counter("stream.rows_done")
+	retriesC := opts.Metrics.Counter("stream.retries")
+	quarantinedC := opts.Metrics.Counter("stream.quarantined")
+	panicsC := opts.Metrics.Counter("stream.recovered_panics")
 	progress := opts.Metrics.Gauge("stream.progress")
-	var shardsTotal atomic.Int64
+	opts.Metrics.Gauge("stream.shards_total").Set(float64(len(refs)))
 
-	ch := make(chan *Shard, workers)
-	partials := make([]*partial, workers)
+	var (
+		mu       sync.Mutex
+		comp     = Completeness{ShardsPlanned: len(refs)}
+		firstErr error
+		settled  int
+	)
+	onRetry := func(ref ShardRef, attempt int, cause error) {
+		retriesC.Inc()
+		opts.Events.Span(time.Since(start), obs.EvShardRetry, "stream",
+			fmt.Sprintf("%s attempt %d: %v", ref.Label, attempt, cause))
+		mu.Lock()
+		comp.Retries++
+		mu.Unlock()
+	}
+	settle := func(n int) {
+		mu.Lock()
+		settled += n
+		frac := float64(settled) / float64(max(len(refs), 1))
+		mu.Unlock()
+		progress.Set(frac)
+	}
+
+	// Shard-locals merge into one shared partial under mu, in arrival
+	// order. Arrival order varies with scheduling, but every partial
+	// field merges commutatively and associatively (sketches are
+	// canonical, the rest is integer arithmetic, set union and a
+	// total-order max), so the merged state — and every rendered byte —
+	// is identical for any order; the cross-worker-count equivalence
+	// tests lock that. One shared partial instead of one per worker also
+	// keeps sketch memory flat in the worker count: each per-worker
+	// partial would converge to nearly the full distinct-value space.
+	ch := make(chan ShardRef)
+	merged := newPartial(cols)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		p := newPartial(cols)
-		partials[w] = p
 		workerShards := opts.Metrics.Counter(fmt.Sprintf("stream.worker.%02d.shards", w))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for sh := range ch {
-				rows := p.accumulate(sh, info, info.Networks)
+			for ref := range ch {
+				mu.Lock()
+				incumbent := merged.timeline
+				mu.Unlock()
+				out := processShard(ctx, src, ref, info, cols, incumbent, &opts, onRetry)
+				if out.err != nil {
+					if ctx.Err() != nil {
+						return // run is aborting; not a shard verdict
+					}
+					mu.Lock()
+					if out.attempts > 1 {
+						comp.ShardsRetried++
+					}
+					if opts.Strict {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("core: shard %s: %w", ref.Label, out.err)
+						}
+						mu.Unlock()
+						cancel()
+						return
+					}
+					comp.ShardsQuarantined++
+					if out.class == FailPanic {
+						comp.RecoveredPanics++
+						panicsC.Inc()
+					}
+					comp.Quarantined = append(comp.Quarantined, ShardFailure{
+						Index: ref.Index, Drive: ref.Drive, Shard: ref.Label,
+						Attempts: out.attempts, Class: out.class, Err: out.err.Error(),
+					})
+					mu.Unlock()
+					quarantinedC.Inc()
+					opts.Events.Span(time.Since(start), obs.EvShardQuarantine, "stream",
+						fmt.Sprintf("%s: %s: %v", ref.Label, out.class, out.err))
+					settle(1)
+					continue
+				}
+				mu.Lock()
+				merged.merge(out.local)
+				comp.ShardsScanned++
+				if out.attempts > 1 {
+					comp.ShardsRetried++
+				}
+				mu.Unlock()
 				workerShards.Inc()
 				shardsDone.Inc()
-				rowsDone.Add(int64(rows))
-				if total := shardsTotal.Load(); total > 0 {
-					progress.Set(float64(shardsDone.Value()) / float64(total))
-				}
+				rowsDone.Add(int64(out.rows))
+				settle(1)
 			}
 		}()
 	}
 
-	produceErr := src.Shards(func(sh *Shard) error {
-		opts.Metrics.Gauge("stream.shards_total").Set(float64(shardsTotal.Add(1)))
-		ch <- sh
-		return nil
-	})
-	close(ch)
+	go func() {
+		defer close(ch)
+		for _, ref := range refs {
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- ref:
+			}
+		}
+	}()
 	wg.Wait()
-	if produceErr != nil {
-		return nil, produceErr
+
+	mu.Lock()
+	fe := firstErr
+	mu.Unlock()
+	if fe != nil {
+		return nil, fe
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	progress.Set(1)
-
-	// Exact deterministic merge: fixed worker order. (Canonicality
-	// makes the order irrelevant; fixing it anyway means the claim
-	// never has to be trusted.)
-	merged := partials[0]
-	for _, o := range partials[1:] {
-		merged.merge(o)
-	}
 	sa.p = merged
+	sort.Slice(comp.Quarantined, func(i, j int) bool {
+		return comp.Quarantined[i].Index < comp.Quarantined[j].Index
+	})
+	sa.comp = comp
 	return sa, nil
 }
 

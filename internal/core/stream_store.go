@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"satcell/internal/channel"
@@ -12,9 +15,11 @@ import (
 
 // StoreSource streams a PR-3 artifact directory (MANIFEST + per-drive
 // per-network trace shards + tests.csv) through the analysis pipeline
-// without ever holding more than one drive in memory. Shards are
-// scanned in MANIFEST (export) order: drive-major, networks in campaign
-// order.
+// without ever holding more than one drive in memory. Planning reads
+// the control files (MANIFEST, tests.csv — structural, fatal in every
+// mode); loading scans one drive's trace shards, concurrently and
+// repeatably, so the supervisor can retry or quarantine drives
+// individually.
 //
 // The trace CSVs round samples to fixed decimals, so a directory scan
 // is not bit-identical to analyzing the generating dataset in memory —
@@ -23,17 +28,34 @@ import (
 type StoreSource struct {
 	dir      string
 	mode     store.Mode
+	fsys     store.FS
 	manifest *store.Manifest
 	shards   []store.TraceShard
 	networks []channel.NetworkID
+	// groups and tests are the per-drive plan, fixed by Plan.
+	groups [][]store.TraceShard
+	tests  map[int][]store.TestRow
+
+	// mu guards Report: shard loads run concurrently, and a load's
+	// row/skip counts are published only when the whole shard succeeds,
+	// so a retried or quarantined attempt never double-counts.
+	mu sync.Mutex
 	// Report accumulates row/skip counts across the scan (meaningful
-	// after Shards returns; Lenient mode counts skipped rows here).
+	// after the analysis returns; Lenient mode counts skipped rows
+	// here).
 	Report store.LoadReport
 }
 
-// OpenStoreSource validates dir's manifest and plans the shard scan.
+// OpenStoreSource validates dir's manifest and prepares the shard scan.
 func OpenStoreSource(dir string, mode store.Mode) (*StoreSource, error) {
-	m, err := store.ReadManifest(dir)
+	return OpenStoreSourceFS(nil, dir, mode)
+}
+
+// OpenStoreSourceFS is OpenStoreSource through an explicit filesystem
+// (nil means the real one); the disk-fault chaos suite opens sources
+// over a store.FaultFS.
+func OpenStoreSourceFS(fsys store.FS, dir string, mode store.Mode) (*StoreSource, error) {
+	m, err := store.ReadManifestFS(fsys, dir)
 	if err != nil {
 		return nil, fmt.Errorf("core: open store source: %w", err)
 	}
@@ -41,7 +63,7 @@ func OpenStoreSource(dir string, mode store.Mode) (*StoreSource, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &StoreSource{dir: dir, mode: mode, manifest: m, shards: shards}
+	s := &StoreSource{dir: dir, mode: mode, fsys: fsys, manifest: m, shards: shards}
 	s.networks = s.campaignNetworks()
 	return s, nil
 }
@@ -81,49 +103,69 @@ func (s *StoreSource) Info() (SourceInfo, error) {
 	return info, nil
 }
 
-// Shards implements ShardSource: for each drive, stream its trace
-// shards and tests.csv rows into one Shard, then release it before the
-// next. Peak memory is one drive's records plus the accumulated
-// sketches.
-func (s *StoreSource) Shards(yield func(*Shard) error) error {
-	testsByDrive, err := s.groupTests()
+// Plan implements ShardSource: scan tests.csv once (a control file —
+// an unreadable one fails the run in every mode) and group the trace
+// shards by drive, in MANIFEST (export) order: drive-major, networks
+// in campaign order within a drive.
+func (s *StoreSource) Plan() ([]ShardRef, error) {
+	tests, err := s.groupTests()
 	if err != nil {
-		return err
+		return nil, err
 	}
+	s.tests = tests
+	s.groups = nil
+	var refs []ShardRef
 	for i := 0; i < len(s.shards); {
 		drive := s.shards[i].Drive
-		sh := &Shard{Drive: drive, Route: s.shards[i].Route, Records: make(map[channel.NetworkID][]channel.Record)}
-		for ; i < len(s.shards) && s.shards[i].Drive == drive; i++ {
-			ts := s.shards[i]
-			recs := make([]channel.Record, 0, ts.Rows)
-			err := store.ScanTrace(filepath.Join(s.dir, ts.Name), s.mode, &s.Report,
-				func(n channel.NetworkID, r channel.Record) error {
-					recs = append(recs, r)
-					return nil
-				})
-			if err != nil {
-				return err
-			}
-			sh.Records[ts.Network] = recs
+		j := i
+		for ; j < len(s.shards) && s.shards[j].Drive == drive; j++ {
 		}
-		rows := testsByDrive[drive]
-		sh.Tests = make([]*dataset.Test, 0, len(rows))
-		for _, row := range rows {
-			t, err := rebuildTest(row, drive, sh)
-			if err != nil {
-				return err
-			}
-			t.Reevaluate(s.manifest.Seed)
-			sh.Tests = append(sh.Tests, t)
-			if sh.State == "" {
-				sh.State = t.State
-			}
+		refs = append(refs, ShardRef{Index: len(refs), Drive: drive,
+			Label: fmt.Sprintf("drive%03d_%s", drive, s.shards[i].Route)})
+		s.groups = append(s.groups, s.shards[i:j])
+		i = j
+	}
+	return refs, nil
+}
+
+// Load implements ShardSource: stream one drive's trace shards and
+// rebuild its tests. Peak memory is one drive's records; the load is
+// self-contained, so the supervisor can run it concurrently with other
+// drives and repeat it after a transient I/O failure.
+func (s *StoreSource) Load(ref ShardRef) (*Shard, error) {
+	group := s.groups[ref.Index]
+	var local store.LoadReport
+	sh := &Shard{Drive: ref.Drive, Route: group[0].Route,
+		Records: make(map[channel.NetworkID][]channel.Record, len(group))}
+	for _, ts := range group {
+		recs := make([]channel.Record, 0, ts.Rows)
+		err := store.ScanTraceFS(s.fsys, filepath.Join(s.dir, ts.Name), s.mode, &local,
+			func(n channel.NetworkID, r channel.Record) error {
+				recs = append(recs, r)
+				return nil
+			})
+		if err != nil {
+			return nil, err
 		}
-		if err := yield(sh); err != nil {
-			return err
+		sh.Records[ts.Network] = recs
+	}
+	rows := s.tests[ref.Drive]
+	sh.Tests = make([]*dataset.Test, 0, len(rows))
+	for _, row := range rows {
+		t, err := rebuildTest(row, ref.Drive, sh)
+		if err != nil {
+			return nil, err
+		}
+		t.Reevaluate(s.manifest.Seed)
+		sh.Tests = append(sh.Tests, t)
+		if sh.State == "" {
+			sh.State = t.State
 		}
 	}
-	return nil
+	s.mu.Lock()
+	s.Report.Merge(&local)
+	s.mu.Unlock()
+	return sh, nil
 }
 
 // groupTests scans tests.csv once and buckets rows by drive. Rows from
@@ -135,7 +177,20 @@ func (s *StoreSource) groupTests() (map[int][]store.TestRow, error) {
 	out := make(map[int][]store.TestRow)
 	heuristicDrive := 0
 	var prev *store.TestRow
-	err := store.ScanTests(filepath.Join(s.dir, "tests.csv"), s.mode, &s.Report,
+	var local store.LoadReport
+	// The grouped rows live for the whole scan, and each row's string
+	// fields pin the CSV line they were sliced from; interning the few
+	// distinct values drops those lines as soon as they are parsed.
+	interned := make(map[string]string)
+	intern := func(v string) string {
+		if c, ok := interned[v]; ok {
+			return c
+		}
+		c := strings.Clone(v)
+		interned[c] = c
+		return c
+	}
+	err := store.ScanTestsFS(s.fsys, filepath.Join(s.dir, "tests.csv"), s.mode, &local,
 		func(row store.TestRow) error {
 			drive := row.Drive
 			if drive < 0 {
@@ -146,12 +201,17 @@ func (s *StoreSource) groupTests() (map[int][]store.TestRow, error) {
 			}
 			r := row
 			prev = &r
+			row.Network, row.Kind, row.Route = intern(row.Network), intern(row.Kind), intern(row.Route)
+			row.State, row.Area, row.Outcome = intern(row.State), intern(row.Area), intern(row.Outcome)
 			out[drive] = append(out[drive], row)
 			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	s.Report.Merge(&local)
+	s.mu.Unlock()
 	return out, nil
 }
 
@@ -181,13 +241,13 @@ func rebuildTest(row store.TestRow, drive int, sh *Shard) (*dataset.Test, error)
 }
 
 // windowRecords selects the records with start <= Env.At < end,
-// replicating the dataset generator's test-window carve.
+// replicating the dataset generator's test-window carve. Trace shards
+// are written (and therefore scanned) in ascending Env.At order, so the
+// window is a contiguous range and can alias the drive's record slice:
+// copying it would put most of the drive on the heap a second time,
+// once per overlapping test.
 func windowRecords(recs []channel.Record, from, to time.Duration) []channel.Record {
-	out := make([]channel.Record, 0, int((to-from)/time.Second)+1)
-	for _, r := range recs {
-		if r.Env.At >= from && r.Env.At < to {
-			out = append(out, r)
-		}
-	}
-	return out
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].Env.At >= from })
+	hi := lo + sort.Search(len(recs)-lo, func(i int) bool { return recs[lo+i].Env.At >= to })
+	return recs[lo:hi:hi]
 }

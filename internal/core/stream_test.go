@@ -5,6 +5,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"unsafe"
 
@@ -222,8 +223,7 @@ func TestStreamingTenXCorpusBoundedMemory(t *testing.T) {
 	runtime.GC()
 	var base runtime.MemStats
 	runtime.ReadMemStats(&base)
-	var peak uint64
-	sampled := &memSamplingSource{inner: src, peak: &peak}
+	sampled := &memSamplingSource{inner: src}
 	sa, err := StreamAnalyze(sampled, StreamOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -233,7 +233,7 @@ func TestStreamingTenXCorpusBoundedMemory(t *testing.T) {
 		t.Fatalf("10x corpus reports %g drives, want %d", got, copies*len(ds.Drives))
 	}
 	var growth uint64
-	if peak > base.HeapAlloc {
+	if peak := sampled.peak.Load(); peak > base.HeapAlloc {
 		growth = peak - base.HeapAlloc
 	}
 	// The bound: half the corpus footprint. A non-streaming load holds
@@ -248,27 +248,31 @@ func TestStreamingTenXCorpusBoundedMemory(t *testing.T) {
 }
 
 // memSamplingSource decorates a ShardSource with a HeapAlloc probe
-// after each shard hand-off.
+// after each shard load. Loads run concurrently in workers, so the
+// peak is tracked atomically.
 type memSamplingSource struct {
 	inner ShardSource
-	peak  *uint64
+	peak  atomic.Uint64
 }
 
 func (m *memSamplingSource) Info() (SourceInfo, error) { return m.inner.Info() }
 
-func (m *memSamplingSource) Shards(yield func(*Shard) error) error {
-	return m.inner.Shards(func(sh *Shard) error {
-		err := yield(sh)
-		// Collect before reading so the probe measures live heap
-		// (shards in flight + sketches), not GC-lag garbage.
-		runtime.GC()
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		if ms.HeapAlloc > *m.peak {
-			*m.peak = ms.HeapAlloc
+func (m *memSamplingSource) Plan() ([]ShardRef, error) { return m.inner.Plan() }
+
+func (m *memSamplingSource) Load(ref ShardRef) (*Shard, error) {
+	sh, err := m.inner.Load(ref)
+	// Collect before reading so the probe measures live heap
+	// (shards in flight + sketches), not GC-lag garbage.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		old := m.peak.Load()
+		if ms.HeapAlloc <= old || m.peak.CompareAndSwap(old, ms.HeapAlloc) {
+			break
 		}
-		return err
-	})
+	}
+	return sh, err
 }
 
 // tileDataset builds a campaign ~n times the input by replicating its

@@ -17,6 +17,7 @@ import (
 	"satcell/internal/meas/iperf"
 	"satcell/internal/meas/udpping"
 	"satcell/internal/netem"
+	"satcell/internal/testutil"
 )
 
 // chaosSettle waits for the goroutine count to return to (near) the
@@ -80,7 +81,7 @@ func TestChaosIperfTCPBlackouts(t *testing.T) {
 
 	relay.Close()
 	srv.Close()
-	chaosSettle(t, baseline)
+	testutil.SettleGoroutines(t, baseline)
 }
 
 // TestChaosIperfUDPBlackouts runs a UDP download through a relay that
@@ -129,7 +130,7 @@ func TestChaosIperfUDPBlackouts(t *testing.T) {
 
 	relay.Close()
 	srv.Close()
-	chaosSettle(t, baseline)
+	testutil.SettleGoroutines(t, baseline)
 }
 
 // TestChaosUDPPingRelayRestart kills the relay mid-ping and restarts it
@@ -197,7 +198,7 @@ func TestChaosUDPPingRelayRestart(t *testing.T) {
 	relay.Close()
 	mu.Unlock()
 	srv.Close()
-	chaosSettle(t, baseline)
+	testutil.SettleGoroutines(t, baseline)
 }
 
 // TestChaosIperfTCPReconnectAfterRestart kills the TCP relay, then
@@ -261,7 +262,7 @@ func TestChaosIperfTCPReconnectAfterRestart(t *testing.T) {
 	relay.Close()
 	mu.Unlock()
 	srv.Close()
-	chaosSettle(t, baseline)
+	testutil.SettleGoroutines(t, baseline)
 }
 
 // TestChaosDialFailWindowRefusesSessions pings through a UDP relay that
@@ -306,7 +307,7 @@ func TestChaosDialFailWindowRefusesSessions(t *testing.T) {
 
 	relay.Close()
 	srv.Close()
-	chaosSettle(t, baseline)
+	testutil.SettleGoroutines(t, baseline)
 }
 
 // TestChaosDatagramCorruptionPath runs pings through a relay with heavy
@@ -347,7 +348,7 @@ func TestChaosDatagramCorruptionPath(t *testing.T) {
 
 	relay.Close()
 	srv.Close()
-	chaosSettle(t, baseline)
+	testutil.SettleGoroutines(t, baseline)
 }
 
 // TestChaosUDPUploadThroughBlackout drives a UDP upload while the link
@@ -390,5 +391,5 @@ func TestChaosUDPUploadThroughBlackout(t *testing.T) {
 
 	relay.Close()
 	srv.Close()
-	chaosSettle(t, baseline)
+	testutil.SettleGoroutines(t, baseline)
 }

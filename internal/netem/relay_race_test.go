@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"satcell/internal/testutil"
 )
 
 // settleGoroutines waits for the goroutine count to drop back to (near)
@@ -84,9 +86,7 @@ func TestUDPRelayCloseRace(t *testing.T) {
 		}
 	}
 
-	if n := settleGoroutines(baseline); n > baseline+2 {
-		t.Fatalf("goroutines leaked: %d before, %d after", baseline, n)
-	}
+	testutil.SettleGoroutines(t, baseline)
 }
 
 // TestTCPRelayCloseRace closes a TCP relay while pumps are mid-transfer
@@ -155,9 +155,7 @@ func TestTCPRelayCloseRace(t *testing.T) {
 		}
 	}
 
-	if n := settleGoroutines(baseline); n > baseline+2 {
-		t.Fatalf("goroutines leaked: %d before, %d after", baseline, n)
-	}
+	testutil.SettleGoroutines(t, baseline)
 }
 
 // TestUDPRelayTimerRegistryStopsPending verifies a closed relay cancels

@@ -37,6 +37,11 @@ const (
 	// TCP connection) began / ended.
 	EvSessionStart EventKind = "session-start"
 	EvSessionEnd   EventKind = "session-end"
+	// EvShardRetry / EvShardQuarantine: the streaming supervisor reloaded
+	// a shard after a transient I/O failure / dropped a shard that stayed
+	// bad (Detail names the shard and the cause).
+	EvShardRetry      EventKind = "shard-retry"
+	EvShardQuarantine EventKind = "shard-quarantine"
 )
 
 // Event is one traced occurrence, keyed by monotonic elapsed time since

@@ -89,34 +89,52 @@ func (s *Sketch) compact() {
 }
 
 // merge folds ascending runs (vals, counts) into the sketch's runs.
+// It merges in place, reusing the run arrays' spare capacity: the
+// streaming workers merge one small shard sketch into a large partial
+// per shard, and rewriting fresh full-size arrays there would put the
+// whole distribution on the heap twice per merge.
 func (s *Sketch) merge(vals []float64, counts []int64) {
 	s.cum = nil
-	if len(s.vals) == 0 {
-		s.vals = append([]float64(nil), vals...)
-		s.counts = append([]int64(nil), counts...)
+	if len(vals) == 0 {
 		return
 	}
-	mv := make([]float64, 0, len(s.vals)+len(vals))
-	mc := make([]int64, 0, len(s.counts)+len(counts))
-	i, j := 0, 0
-	for i < len(s.vals) || j < len(vals) {
-		switch {
-		case j == len(vals) || (i < len(s.vals) && s.vals[i] < vals[j]):
-			mv = append(mv, s.vals[i])
-			mc = append(mc, s.counts[i])
-			i++
-		case i == len(s.vals) || vals[j] < s.vals[i]:
-			mv = append(mv, vals[j])
-			mc = append(mc, counts[j])
-			j++
-		default: // equal values: one run, summed multiplicity
-			mv = append(mv, s.vals[i])
-			mc = append(mc, s.counts[i]+counts[j])
-			i++
-			j++
-		}
+	if len(s.vals) == 0 {
+		s.vals = append(s.vals[:0], vals...)
+		s.counts = append(s.counts[:0], counts...)
+		return
 	}
-	s.vals, s.counts = mv, mc
+	ls := len(s.vals)
+	s.vals = append(s.vals, vals...)
+	s.counts = append(s.counts, counts...)
+	// Backward merge into the grown tail. The write cursor k stays at
+	// least j+1 ahead of both read cursors (each step writes one slot
+	// and consumes at least one input), so nothing unread is clobbered
+	// even when vals aliases the old backing array.
+	i, j, k := ls-1, len(vals)-1, len(s.vals)-1
+	for j >= 0 {
+		switch {
+		case i >= 0 && s.vals[i] > vals[j]:
+			s.vals[k], s.counts[k] = s.vals[i], s.counts[i]
+			i--
+		case i >= 0 && s.vals[i] == vals[j]:
+			s.vals[k] = vals[j]
+			s.counts[k] = s.counts[i] + counts[j]
+			i--
+			j--
+		default:
+			s.vals[k], s.counts[k] = vals[j], counts[j]
+			j--
+		}
+		k--
+	}
+	// Equal values collapsed into single runs leave a gap (i, k]
+	// between the untouched prefix and the merged tail; close it.
+	if k > i {
+		n := copy(s.vals[i+1:], s.vals[k+1:])
+		copy(s.counts[i+1:], s.counts[k+1:])
+		s.vals = s.vals[:i+1+n]
+		s.counts = s.counts[:i+1+n]
+	}
 }
 
 // Merge folds every sample of o into s. o is unchanged (its pending

@@ -29,18 +29,20 @@ type checkpointEntry struct {
 // the journal names every shard that was durably renamed into place; a
 // torn final line (crash mid-append) is ignored on replay.
 type checkpoint struct {
-	f *os.File
+	f File
 }
 
-// openCheckpoint opens dir's journal. With resume=false any previous
-// journal is discarded and a fresh one started. With resume=true the
-// existing journal is replayed: its meta line must match meta, and the
-// claimed entries are returned for the caller to verify against disk.
-func openCheckpoint(dir string, meta checkpointMeta, resume bool) (*checkpoint, map[string]FileInfo, error) {
+// openCheckpoint opens dir's journal through fsys. With resume=false
+// any previous journal is discarded and a fresh one started. With
+// resume=true the existing journal is replayed: its meta line must
+// match meta, and the claimed entries are returned for the caller to
+// verify against disk.
+func openCheckpoint(fsys FS, dir string, meta checkpointMeta, resume bool) (*checkpoint, map[string]FileInfo, error) {
+	fsys = orOS(fsys)
 	path := filepath.Join(dir, CheckpointName)
 	claimed := make(map[string]FileInfo)
 	if resume {
-		prev, err := readCheckpoint(path)
+		prev, err := readCheckpoint(fsys, path)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -52,14 +54,14 @@ func openCheckpoint(dir string, meta checkpointMeta, resume bool) (*checkpoint, 
 					meta.Tool, meta.Seed, meta.Scale)
 			}
 			claimed = prev.entries
-			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return nil, nil, err
 			}
 			return &checkpoint{f: f}, claimed, nil
 		}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -77,8 +79,8 @@ type replayedCheckpoint struct {
 	entries map[string]FileInfo
 }
 
-func readCheckpoint(path string) (*replayedCheckpoint, error) {
-	f, err := os.Open(path)
+func readCheckpoint(fsys FS, path string) (*replayedCheckpoint, error) {
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}

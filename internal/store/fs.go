@@ -1,0 +1,74 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem surface the store reads and writes through.
+// Every scan, load and export path threads one of these instead of
+// calling the os package directly, so disk-level faults are injectable
+// (FaultFS) the same way network faults are on the live path: the
+// crash-safety guarantees of this package are only worth trusting if
+// they can be exercised against a misbehaving disk.
+//
+// The interface is deliberately small — exactly the calls the store
+// makes — rather than a general VFS.
+type FS interface {
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// OpenFile is the generalised open (the checkpoint journal appends).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temp file in dir (os.CreateTemp pattern
+	// semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically renames a finished temp file into place.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(name string, perm os.FileMode) error
+}
+
+// File is the open-file surface the store uses: reads, writes, fsync
+// and a checked close. *os.File implements it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Sync() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+
+// OS returns the real-filesystem implementation of FS. It is what every
+// store entry point without an explicit FS uses.
+func OS() FS { return osFS{} }
+
+// orOS resolves a possibly-nil FS option to the real filesystem.
+func orOS(fsys FS) FS {
+	if fsys == nil {
+		return OS()
+	}
+	return fsys
+}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 	"strings"
 
@@ -62,6 +61,21 @@ func (r *LoadReport) String() string {
 	return fmt.Sprintf("%d files, %d rows loaded, %d rows skipped", r.Files, r.Rows, r.Skipped)
 }
 
+// Merge folds o into r, keeping the itemised-error cap. Concurrent
+// scanners accumulate into per-shard reports and publish here only
+// when a shard succeeds, so retried attempts never double-count.
+func (r *LoadReport) Merge(o *LoadReport) {
+	r.Files += o.Files
+	r.Rows += o.Rows
+	r.Skipped += o.Skipped
+	for _, e := range o.Errors {
+		if len(r.Errors) >= maxRowErrors {
+			break
+		}
+		r.Errors = append(r.Errors, e)
+	}
+}
+
 // TestRow is one parsed tests.csv record. String-typed columns stay
 // strings so the loader accepts field campaigns with networks or areas
 // the simulator does not model.
@@ -88,7 +102,13 @@ var requiredTestColumns = []string{
 
 // LoadTests opens and parses a tests.csv file.
 func LoadTests(path string, mode Mode) ([]TestRow, *LoadReport, error) {
-	f, err := os.Open(path)
+	return LoadTestsFS(nil, path, mode)
+}
+
+// LoadTestsFS is LoadTests through an explicit filesystem (nil means
+// the real one).
+func LoadTestsFS(fsys FS, path string, mode Mode) ([]TestRow, *LoadReport, error) {
+	f, err := orOS(fsys).Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -259,7 +279,13 @@ func parseTestRow(rec, header []string, col map[string]int) (TestRow, error) {
 // LoadTrace opens and parses one trace CSV shard through the strict or
 // lenient trace reader, feeding skips into a LoadReport.
 func LoadTrace(path string, mode Mode) (*channel.Trace, *LoadReport, error) {
-	f, err := os.Open(path)
+	return LoadTraceFS(nil, path, mode)
+}
+
+// LoadTraceFS is LoadTrace through an explicit filesystem (nil means
+// the real one).
+func LoadTraceFS(fsys FS, path string, mode Mode) (*channel.Trace, *LoadReport, error) {
+	f, err := orOS(fsys).Open(path)
 	if err != nil {
 		return nil, nil, err
 	}

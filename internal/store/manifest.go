@@ -68,7 +68,13 @@ func (m *Manifest) Add(name string, fi FileInfo) { m.Files[name] = fi }
 // Write persists the manifest atomically into dir. Callers must write
 // it last: its arrival is what marks the directory complete.
 func (m *Manifest) Write(dir string) error {
-	return WriteFileAtomic(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+	return m.WriteFS(nil, dir)
+}
+
+// WriteFS is Write through an explicit filesystem (nil means the real
+// one).
+func (m *Manifest) WriteFS(fsys FS, dir string) error {
+	return WriteFileAtomicFS(fsys, filepath.Join(dir, ManifestName), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(m)
@@ -77,9 +83,20 @@ func (m *Manifest) Write(dir string) error {
 
 // ReadManifest loads and validates dir's MANIFEST.
 func ReadManifest(dir string) (*Manifest, error) {
-	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	return ReadManifestFS(nil, dir)
+}
+
+// ReadManifestFS is ReadManifest through an explicit filesystem (nil
+// means the real one).
+func ReadManifestFS(fsys FS, dir string) (*Manifest, error) {
+	f, err := orOS(fsys).Open(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, err
+	}
+	b, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", ManifestName, err)
 	}
 	var m Manifest
 	if err := json.Unmarshal(b, &m); err != nil {
@@ -112,11 +129,17 @@ func safeArtifactName(name string) bool {
 // VerifyFile checks one manifest entry against the file on disk,
 // distinguishing missing, truncated/resized and bit-corrupted files.
 func (m *Manifest) VerifyFile(dir, name string) error {
+	return m.VerifyFileFS(nil, dir, name)
+}
+
+// VerifyFileFS is VerifyFile through an explicit filesystem (nil means
+// the real one).
+func (m *Manifest) VerifyFileFS(fsys FS, dir, name string) error {
 	fi, ok := m.Files[name]
 	if !ok {
 		return fmt.Errorf("store: %s not in manifest", name)
 	}
-	sum, size, err := HashFile(filepath.Join(dir, name))
+	sum, size, err := hashFile(fsys, filepath.Join(dir, name))
 	if os.IsNotExist(err) {
 		return fmt.Errorf("store: %s missing", name)
 	}

@@ -2,7 +2,6 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -18,27 +17,50 @@ import (
 
 // ScanTests streams the tests.csv at path through fn in file order.
 // Malformed rows follow mode (Strict aborts, Lenient skips into rep);
-// an error returned by fn aborts the scan in both modes.
+// an error returned by fn aborts the scan in both modes. A file with a
+// header but no data rows at all is an error in both modes: a
+// zero-test campaign file is a truncation artifact, not a campaign.
 func ScanTests(path string, mode Mode, rep *LoadReport, fn func(TestRow) error) error {
-	f, err := os.Open(path)
+	return ScanTestsFS(nil, path, mode, rep, fn)
+}
+
+// ScanTestsFS is ScanTests through an explicit filesystem (nil means
+// the real one).
+func ScanTestsFS(fsys FS, path string, mode Mode, rep *LoadReport, fn func(TestRow) error) error {
+	f, err := orOS(fsys).Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return scanTestRows(f, path, mode, rep, fn)
+	before := rep.Rows + rep.Skipped
+	if err := scanTestRows(f, path, mode, rep, fn); err != nil {
+		return err
+	}
+	if rep.Rows+rep.Skipped == before {
+		return fmt.Errorf("store: %s: no data rows (header-only file)", path)
+	}
+	return nil
 }
 
 // ScanTrace streams one trace shard through fn in file order without
 // materialising the trace. Malformed rows follow mode; an error
 // returned by fn aborts the scan in both modes. rep accumulates row
-// and skip counts.
+// and skip counts. Like ScanTests, a header-only shard is an error in
+// both modes.
 func ScanTrace(path string, mode Mode, rep *LoadReport, fn func(channel.NetworkID, channel.Record) error) error {
-	f, err := os.Open(path)
+	return ScanTraceFS(nil, path, mode, rep, fn)
+}
+
+// ScanTraceFS is ScanTrace through an explicit filesystem (nil means
+// the real one).
+func ScanTraceFS(fsys FS, path string, mode Mode, rep *LoadReport, fn func(channel.NetworkID, channel.Record) error) error {
+	f, err := orOS(fsys).Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	rep.Files++
+	before := rep.Rows + rep.Skipped
 	// The trace scanner treats fn errors as row errors (lenient mode
 	// would skip them), so consumer aborts are stashed and re-raised.
 	var abort error
@@ -68,6 +90,9 @@ func ScanTrace(path string, mode Mode, rep *LoadReport, fn func(channel.NetworkI
 	}
 	if err2 != nil {
 		return fmt.Errorf("store: %s: %w", path, err2)
+	}
+	if rep.Rows+rep.Skipped == before {
+		return fmt.Errorf("store: %s: no data rows (header-only file)", path)
 	}
 	return nil
 }

@@ -54,8 +54,15 @@ func IsTempFile(name string) bool { return strings.HasPrefix(name, tmpPrefix) }
 // torn or truncated file, and an ENOSPC surfaces as an error instead of
 // a silently short artifact.
 func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	return WriteFileAtomicFS(nil, path, write)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic through an explicit filesystem
+// (nil means the real one).
+func WriteFileAtomicFS(fsys FS, path string, write func(w io.Writer) error) (err error) {
+	fsys = orOS(fsys)
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, tmpPrefix+filepath.Base(path)+"-")
+	f, err := fsys.CreateTemp(dir, tmpPrefix+filepath.Base(path)+"-")
 	if err != nil {
 		return fmt.Errorf("store: create temp for %s: %w", path, err)
 	}
@@ -63,7 +70,7 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	defer func() {
 		if err != nil {
 			f.Close()
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 		}
 	}()
 	bw := bufio.NewWriter(f)
@@ -79,15 +86,15 @@ func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
 	if err = f.Close(); err != nil {
 		return fmt.Errorf("store: close %s: %w", path, err)
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err = fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("store: rename %s: %w", path, err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return fmt.Errorf("store: open dir %s: %w", dir, err)
 	}
@@ -101,7 +108,11 @@ func syncDir(dir string) error {
 
 // HashFile returns the hex sha256 and byte size of the file at path.
 func HashFile(path string) (sum string, size int64, err error) {
-	f, err := os.Open(path)
+	return hashFile(nil, path)
+}
+
+func hashFile(fsys FS, path string) (sum string, size int64, err error) {
+	f, err := orOS(fsys).Open(path)
 	if err != nil {
 		return "", 0, err
 	}
@@ -158,14 +169,14 @@ func stripBOMReader(r io.Reader) io.Reader {
 
 // removeTempFiles deletes leftover atomic-write temp files (torn
 // renames from a crashed export) under dir.
-func removeTempFiles(dir string) error {
-	entries, err := os.ReadDir(dir)
+func removeTempFiles(fsys FS, dir string) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
 	for _, e := range entries {
 		if e.Type().IsRegular() && IsTempFile(e.Name()) {
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,31 @@
+// Package testutil holds helpers shared across the repo's test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// GoroutineBaseline snapshots the current goroutine count. Call it
+// before starting the machinery under test and hand the result to
+// SettleGoroutines afterwards.
+func GoroutineBaseline() int { return runtime.NumGoroutine() }
+
+// SettleGoroutines polls until the goroutine count drops back to (near)
+// baseline, failing the test if it never does. Shutdown is asynchronous
+// — closed relays, cancelled stream workers and expiring timers take a
+// few scheduler rounds to unwind — so the check tolerates baseline+2
+// and waits up to 3s before declaring a leak.
+func SettleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	var n int
+	for i := 0; i < 150; i++ {
+		n = runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", baseline, n)
+}

@@ -43,6 +43,9 @@ type (
 	Figure = core.Figure
 	// ExperimentRow is one line of the paper-vs-measured record.
 	ExperimentRow = core.ExperimentRow
+	// Completeness is the ingestion certificate of a streamed figure
+	// run: shards planned/scanned/retried/quarantined, itemised.
+	Completeness = core.Completeness
 	// NetworkID identifies one measured service: a catalog id like
 	// "RM" or "MOB", open to custom registrations.
 	NetworkID = channel.NetworkID
@@ -186,24 +189,39 @@ type FigureOptions struct {
 	Metrics *obs.Registry
 }
 
+// ValidateWorkers normalises a worker-count flag: negative is an
+// error, 0 means one worker per core (GOMAXPROCS), positive passes
+// through. CLIs validate through this one gate so -workers means the
+// same thing everywhere.
+func ValidateWorkers(n int) (int, error) { return core.ValidateWorkers(n) }
+
 // Figures regenerates every figure of the paper keyed by ID ("fig1",
 // "fig3a", ..., "fig11", "eq1", "dataset").
 func (w *World) Figures(ds *Dataset, opts FigureOptions) map[string]*Figure {
+	figs, _ := w.FiguresStreamed(ds, opts)
+	return figs
+}
+
+// FiguresStreamed is Figures plus the streaming pipeline's completeness
+// certificate. The certificate is nil when the classic in-memory path
+// ran (Workers == 0, or a malformed dataset forced the fallback): that
+// path has no shards to certify.
+func (w *World) FiguresStreamed(ds *Dataset, opts FigureOptions) (map[string]*Figure, *Completeness) {
 	mp := core.MultipathConfig{
 		WindowSeconds: opts.MultipathWindowSeconds,
 		Windows:       opts.MultipathWindows,
 	}
 	if opts.Workers > 0 {
-		figs, err := core.AllFiguresStreaming(ds, mp, opts.Catalog, opts.Workers, opts.Metrics)
+		figs, comp, err := core.AllFiguresStreaming(ds, mp, opts.Catalog, opts.Workers, opts.Metrics)
 		if err == nil {
-			return figs
+			return figs, comp
 		}
 		// Streaming an in-memory dataset only fails when the dataset is
 		// malformed (a test claiming an out-of-range drive); the classic
 		// path below ignores drive bookkeeping entirely, so it still
 		// produces figures.
 	}
-	return core.AllFiguresCatalog(ds, mp, opts.Catalog)
+	return core.AllFiguresCatalog(ds, mp, opts.Catalog), nil
 }
 
 // Figure regenerates a single figure by ID (cheaper than Figures when

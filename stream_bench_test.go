@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -61,27 +62,31 @@ func BenchmarkStreamingFigures(b *testing.B) {
 	}
 }
 
-// heapProbeSource samples live heap after each shard hand-off, the same
-// probe the core memory-bound test uses, here feeding the JSON report's
-// peak-heap column.
+// heapProbeSource samples live heap after each shard load (loads run
+// concurrently in workers, hence the atomic), the same probe the core
+// memory-bound test uses, here feeding the JSON report's peak-heap
+// column.
 type heapProbeSource struct {
 	inner core.ShardSource
-	peak  uint64
+	peak  atomic.Uint64
 }
 
 func (h *heapProbeSource) Info() (core.SourceInfo, error) { return h.inner.Info() }
 
-func (h *heapProbeSource) Shards(yield func(*core.Shard) error) error {
-	return h.inner.Shards(func(sh *core.Shard) error {
-		err := yield(sh)
-		runtime.GC()
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		if ms.HeapAlloc > h.peak {
-			h.peak = ms.HeapAlloc
+func (h *heapProbeSource) Plan() ([]core.ShardRef, error) { return h.inner.Plan() }
+
+func (h *heapProbeSource) Load(ref core.ShardRef) (*core.Shard, error) {
+	sh, err := h.inner.Load(ref)
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		old := h.peak.Load()
+		if ms.HeapAlloc <= old || h.peak.CompareAndSwap(old, ms.HeapAlloc) {
+			break
 		}
-		return err
-	})
+	}
+	return sh, err
 }
 
 // streamBenchRecord is one row of BENCH_streaming.json.
@@ -138,7 +143,7 @@ func TestStreamingBenchJSON(t *testing.T) {
 			NsPerOp:       ns,
 			RowsPerSec:    float64(rows) / (float64(ns) / 1e9),
 			SpeedupVsOne:  float64(baseNs) / float64(ns),
-			PeakHeapBytes: probe.peak,
+			PeakHeapBytes: probe.peak.Load(),
 			ShardsDone:    reg.Counter("stream.shards_done").Value(),
 			RowsDone:      reg.Counter("stream.rows_done").Value(),
 		})
