@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race chaos chaos-stream bench bench-json fsck-suite obs-suite scenario-suite streaming-suite
+.PHONY: check build vet fmt test race chaos chaos-stream chaos-campaign bench bench-json fsck-suite obs-suite scenario-suite streaming-suite
 
 check: build vet fmt test race
 
@@ -38,7 +38,8 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./internal/dataset/ ./internal/core/ \
 		./internal/netem/ ./internal/meas/... ./internal/faults/ \
-		./internal/store/ ./internal/trace/ ./internal/obs/
+		./internal/store/ ./internal/trace/ ./internal/obs/ \
+		./internal/campaign/
 
 # The obs suite exercises the observability layer under the race
 # detector: registry/tracer/logger concurrency, the debug endpoint, and
@@ -71,6 +72,17 @@ chaos:
 chaos-stream:
 	$(GO) test -race -run 'Chaos|FaultFS|IOInjector|IOSchedule' -v -count=1 \
 		./internal/core/ ./internal/store/ ./internal/faults/
+
+# The campaign chaos suite kills the crash-only supervisor at every
+# stage boundary and at seeded mid-stage points, resumes from the
+# CAMPAIGN journal and requires byte-identical artifacts vs an
+# uninterrupted run; plus watchdog stall-recovery under injected
+# write-stalls, panic->quarantine degradation with exit-code-3
+# certificates, verify->generate corruption healing, and the advisory
+# lock/journal crash-safety tests — all under the race detector.
+chaos-campaign:
+	$(GO) test -race -run 'Campaign|Lock|Journal' -v -count=1 -timeout 20m \
+		./internal/campaign/ ./internal/store/
 
 # The scenario suite exercises the open network catalog and the
 # declarative campaign layer: catalog registration/round-trip/builder

@@ -24,10 +24,22 @@
 // /debug/vars with generation progress (tests done/total, per-worker
 // throughput, tests/sec, ETA) and export progress (shards written/
 // reused), plus pprof for profiling the worker pool.
+//
+// The output directory is guarded by an advisory LOCK file, so two
+// writers (say, a drivegen and a drivegen -resume) cannot interleave in
+// one directory; a lock whose holder is dead is taken over silently. A
+// SIGINT or SIGTERM stops the run at the next durable boundary — every
+// finished shard is already journalled — and exits 1 with a -resume
+// hint.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"satcell"
 	"satcell/internal/obs"
@@ -68,18 +80,41 @@ func main() {
 		logger.Infof("debug endpoint on http://%s/debug/vars", srv.Addr())
 	}
 
+	// The lock is advisory but load-bearing: two exports interleaving
+	// atomic renames and checkpoint appends in one directory would
+	// corrupt the journal's claims.
+	lock, err := store.AcquireLock(nil, *out, "drivegen")
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	defer lock.Release()
+
+	// SIGINT/SIGTERM cancel the context; generation and export observe
+	// it at work-item boundaries, so every shard journalled before the
+	// signal stays durable and -resume continues from it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	world := satcell.NewWorld(*seed)
-	ds := world.GenerateDataset(satcell.DatasetOptions{
+	ds, err := world.GenerateDatasetContext(ctx, satcell.DatasetOptions{
 		Scale: *scale, Scenario: sc, Workers: *workers, Metrics: reg,
 	})
+	if err != nil {
+		lock.Release()
+		logger.Fatalf("interrupted during generation: %v (rerun with -resume)", err)
+	}
 
-	stats, err := store.ExportDataset(*out, ds, store.ExportOptions{
+	stats, err := store.ExportDatasetContext(ctx, *out, ds, store.ExportOptions{
 		Seed:    *seed,
 		Scale:   *scale,
 		Resume:  *resume,
 		Metrics: reg,
 	})
 	if err != nil {
+		lock.Release()
+		if errors.Is(err, context.Canceled) {
+			logger.Fatalf("interrupted: checkpoint is durable, rerun with -resume to continue from the last shard")
+		}
 		logger.Fatalf("%v (rerun with -resume to continue from the last durable shard)", err)
 	}
 	logger.Infof("%d drives, %d tests, %.0f km, %.0f trace-minutes -> %s (%d shards written, %d reused)",

@@ -1,0 +1,384 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"satcell/internal/core"
+	"satcell/internal/dataset"
+	"satcell/internal/faults"
+	"satcell/internal/obs"
+	"satcell/internal/store"
+)
+
+// stageRecord is one journal line: a stage that completed durably,
+// with everything a resume must adopt instead of recompute.
+type stageRecord struct {
+	Stage    Stage `json:"stage"`
+	Attempts int   `json:"attempts"`
+	Stalls   int   `json:"stalls,omitempty"`
+	// Generate-stage payload.
+	Quarantined []dataset.DriveFailure `json:"quarantined,omitempty"`
+	Written     int                    `json:"written,omitempty"`
+	Reused      int                    `json:"reused,omitempty"`
+	// Analyze-stage payload.
+	Completeness *core.Completeness `json:"completeness,omitempty"`
+}
+
+// runner is the in-flight state of one supervised run.
+type runner struct {
+	cfg     Config
+	workers int
+	journal *store.Journal
+	done    map[Stage]*stageRecord
+	figs    map[string]*core.Figure
+	result  *Result
+	start   time.Time
+}
+
+// Run executes (or resumes) the campaign pipeline under supervision.
+// It returns a Result for complete and degraded-but-finished runs —
+// Result.ExitCode distinguishes them — and an error only for fatal
+// conditions: a held lock, a journal mismatch, a cancelled context, or
+// a stage that failed beyond its retry budget. On cancellation every
+// durably completed stage is already journalled, so rerunning with
+// Resume continues where the run stopped.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("campaign: Config.Dir is required")
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.1
+	}
+	if cfg.StallWindow <= 0 {
+		cfg.StallWindow = 30 * time.Second
+	}
+	if cfg.StageRetries == 0 {
+		cfg.StageRetries = 2
+	} else if cfg.StageRetries < 0 {
+		cfg.StageRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.Metrics == nil {
+		// The watchdog reads counters; supervision must work unobserved.
+		cfg.Metrics = obs.NewRegistry()
+	}
+	workers, err := core.ValidateWorkers(cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if cfg.Scenario != nil {
+		if err := cfg.Scenario.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+	}
+
+	lock, err := store.AcquireLock(cfg.FS, cfg.Dir, Tool)
+	if err != nil {
+		return nil, err
+	}
+	defer lock.Release()
+
+	meta := store.JournalMeta{Schema: store.SchemaVersion, Tool: Tool, Seed: cfg.effectiveSeed(), Scale: cfg.Scale}
+	journal, entries, err := store.OpenJournal(cfg.FS, filepath.Join(cfg.Dir, JournalName), meta, cfg.Resume)
+	if err != nil {
+		return nil, err
+	}
+	defer journal.Close()
+
+	r := &runner{
+		cfg: cfg, workers: workers, journal: journal,
+		done:  make(map[Stage]*stageRecord),
+		start: time.Now(),
+		result: &Result{
+			Dir:        cfg.Dir,
+			DataDir:    filepath.Join(cfg.Dir, "data"),
+			FiguresDir: filepath.Join(cfg.Dir, "figures"),
+		},
+	}
+	for _, raw := range entries {
+		var rec stageRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("campaign: parse %s entry: %w", JournalName, err)
+		}
+		// Last record per stage wins: a healed stage supersedes its
+		// earlier journal line.
+		r.done[rec.Stage] = &rec
+	}
+	if err := r.runPipeline(ctx); err != nil {
+		return nil, err
+	}
+	return r.result, nil
+}
+
+// runPipeline walks the stages in order, skipping journalled ones and
+// healing a failed verify by re-entering generate (the export resume
+// path regenerates exactly the corrupt shards).
+func (r *runner) runPipeline(ctx context.Context) error {
+	heals := 0
+	for i := 0; i < len(Stages); i++ {
+		st := Stages[i]
+		if rec, ok := r.done[st]; ok {
+			r.adopt(rec)
+			r.cfg.Log.Infof("stage %s: journalled as complete, skipping", st)
+			continue
+		}
+		rec, err := r.runStage(ctx, i, st)
+		if err != nil {
+			if st == StageVerify && heals <= r.cfg.StageRetries && ctx.Err() == nil {
+				// A dirty dataset directory is not fatal while generate can
+				// still heal it: drop generate's in-memory done mark and
+				// re-enter it. Its fresh journal line supersedes the old one
+				// on any future replay.
+				heals++
+				r.result.Retries++
+				r.cfg.Metrics.Counter("campaign.stage_retries").Inc()
+				r.cfg.Log.Warnf("stage %s: %v; re-entering %s to heal (%d/%d)",
+					st, err, StageGenerate, heals, r.cfg.StageRetries+1)
+				delete(r.done, StageGenerate)
+				for j, s := range Stages {
+					if s == StageGenerate {
+						i = j - 1
+						break
+					}
+				}
+				continue
+			}
+			return err
+		}
+		r.adopt(rec)
+		if err := r.journal.Append(rec); err != nil {
+			return err
+		}
+		r.done[st] = rec
+	}
+	r.result.Figures = r.figs
+	return nil
+}
+
+// adopt folds a completed (or replayed) stage record into the result.
+func (r *runner) adopt(rec *stageRecord) {
+	r.result.Stalls += rec.Stalls
+	if rec.Attempts > 1 {
+		r.result.Retries += rec.Attempts - 1
+	}
+	switch rec.Stage {
+	case StageGenerate:
+		r.result.Completeness.Gen = rec.Quarantined
+		r.result.Written, r.result.Reused = rec.Written, rec.Reused
+	case StageAnalyze:
+		r.result.Completeness.Stream = rec.Completeness
+	}
+}
+
+// runStage runs one stage under the watchdog with the stage retry
+// budget. A cancelled parent context aborts immediately — that is the
+// checkpoint-then-exit path, not a stage failure.
+func (r *runner) runStage(ctx context.Context, idx int, st Stage) (*stageRecord, error) {
+	rec := &stageRecord{Stage: st}
+	maxAttempts := r.cfg.StageRetries + 1
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		rec.Attempts = attempt
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if r.cfg.beforeStage != nil {
+			if err := r.cfg.beforeStage(st); err != nil {
+				return nil, err
+			}
+		}
+		stageCtx, cancel := context.WithCancel(ctx)
+		var dog *watchdog
+		if progress := r.progressFunc(st); progress != nil {
+			dog = startWatchdog(cancel, progress, r.cfg.StallWindow)
+		}
+		r.cfg.Log.Infof("stage %s: attempt %d/%d", st, attempt, maxAttempts)
+		r.cfg.Events.Span(time.Since(r.start), obs.EvStageStart, "campaign", string(st))
+		err := r.execStage(stageCtx, st, rec)
+		stalled := false
+		if dog != nil {
+			stalled = dog.stop()
+		}
+		cancel()
+		if err == nil {
+			r.cfg.Events.Span(time.Since(r.start), obs.EvStageEnd, "campaign", string(st))
+			return rec, nil
+		}
+		if ctx.Err() != nil {
+			// The run was cancelled from outside (SIGINT/SIGTERM): every
+			// completed stage is journalled, so exit instead of retrying.
+			return nil, ctx.Err()
+		}
+		if stalled {
+			rec.Stalls++
+			r.cfg.Metrics.Counter("campaign.stage_stalls").Inc()
+			r.cfg.Events.Span(time.Since(r.start), obs.EvStageStall, "campaign",
+				fmt.Sprintf("%s attempt %d", st, attempt))
+			err = fmt.Errorf("campaign: stage %s stalled (no counter progress for %v): %w",
+				st, r.cfg.StallWindow, err)
+		}
+		lastErr = err
+		if attempt == maxAttempts {
+			break
+		}
+		r.cfg.Metrics.Counter("campaign.stage_retries").Inc()
+		delay := faults.BackoffDelay(r.cfg.RetryBackoff, idx, attempt)
+		r.cfg.Log.Warnf("stage %s: attempt %d failed (%v), retrying in %v", st, attempt, err, delay)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+	return nil, fmt.Errorf("campaign: stage %s failed after %d attempt(s): %w", st, maxAttempts, lastErr)
+}
+
+// progressFunc returns the watchdog's progress reading for stages with
+// live counters; nil exempts the stage from stall supervision (plan,
+// verify and render have no counters to feed a watchdog, and are short).
+func (r *runner) progressFunc(st Stage) func() int64 {
+	reg := r.cfg.Metrics
+	switch st {
+	case StageGenerate:
+		units := reg.Counter("dataset.drive_units_done")
+		samples := reg.Counter("dataset.samples_done")
+		tests := reg.Counter("dataset.tests_done")
+		written := reg.Counter("store.shards_written")
+		reused := reg.Counter("store.shards_reused")
+		retries := reg.Counter("dataset.unit_retries")
+		return func() int64 {
+			return units.Value() + samples.Value() + tests.Value() +
+				written.Value() + reused.Value() + retries.Value()
+		}
+	case StageAnalyze:
+		shards := reg.Counter("stream.shards_done")
+		rows := reg.Counter("stream.rows_done")
+		return func() int64 { return shards.Value() + rows.Value() }
+	default:
+		return nil
+	}
+}
+
+// execStage dispatches one stage attempt.
+func (r *runner) execStage(ctx context.Context, st Stage, rec *stageRecord) error {
+	switch st {
+	case StagePlan:
+		return r.execPlan()
+	case StageGenerate:
+		return r.execGenerate(ctx, rec)
+	case StageVerify:
+		return r.execVerify()
+	case StageAnalyze:
+		return r.execAnalyze(ctx, rec)
+	case StageRender:
+		return r.execRender(ctx)
+	default:
+		return fmt.Errorf("campaign: unknown stage %q", st)
+	}
+}
+
+// execPlan lays out the run directory. The config was validated before
+// the journal opened; planning is deliberately cheap so the first
+// journal line lands within milliseconds of startup.
+func (r *runner) execPlan() error {
+	fsys := r.cfg.FS
+	if fsys == nil {
+		fsys = store.OS()
+	}
+	if err := fsys.MkdirAll(r.result.DataDir, 0o755); err != nil {
+		return err
+	}
+	return fsys.MkdirAll(r.result.FiguresDir, 0o755)
+}
+
+// execGenerate regenerates the dataset (deterministic, so a retry or
+// resume recomputes the identical campaign) and exports it with Resume
+// always on: the export checkpoint makes this stage internally
+// resumable at shard granularity.
+func (r *runner) execGenerate(ctx context.Context, rec *stageRecord) error {
+	ds, err := dataset.GenerateContext(ctx, dataset.Config{
+		Seed: r.cfg.Seed, Scale: r.cfg.Scale, Scenario: r.cfg.Scenario,
+		Workers: r.workers, Metrics: r.cfg.Metrics,
+		Degrade: true, BeforeUnit: r.cfg.beforeUnit,
+	})
+	if err != nil {
+		return err
+	}
+	stats, err := store.ExportDatasetContext(ctx, r.result.DataDir, ds, store.ExportOptions{
+		Seed: ds.Seed, Scale: r.cfg.Scale, Resume: true,
+		BeforeFile: r.cfg.beforeFile, Metrics: r.cfg.Metrics, FS: r.cfg.FS,
+	})
+	if err != nil {
+		return err
+	}
+	rec.Quarantined = ds.Quarantined
+	rec.Written, rec.Reused = stats.Written, stats.Reused
+	return nil
+}
+
+// execVerify audits the exported directory; any finding is a stage
+// error, which the pipeline heals by re-entering generate.
+func (r *runner) execVerify() error {
+	rep, err := store.FsckFS(r.cfg.FS, r.result.DataDir)
+	if err != nil {
+		return err
+	}
+	if !rep.OK() {
+		return fmt.Errorf("campaign: verify: %s", strings.TrimSpace(rep.String()))
+	}
+	r.cfg.Log.Infof("stage %s: %d files, %d rows verified", StageVerify, rep.FilesChecked, rep.RowsChecked)
+	return nil
+}
+
+// execAnalyze streams the verified directory through the sharded
+// figure pipeline (lenient: quarantines degrade the certificate, they
+// do not abort the campaign).
+func (r *runner) execAnalyze(ctx context.Context, rec *stageRecord) error {
+	sa, err := r.analyze(ctx)
+	if err != nil {
+		return err
+	}
+	r.figs = sa.Figures()
+	rec.Completeness = sa.Completeness()
+	return nil
+}
+
+// analyze runs the streaming analysis; the render stage reuses it when
+// a resume skipped past analyze with no figures in memory.
+func (r *runner) analyze(ctx context.Context) (*core.StreamAnalysis, error) {
+	src, err := core.OpenStoreSourceFS(r.cfg.FS, r.result.DataDir, store.Lenient)
+	if err != nil {
+		return nil, err
+	}
+	return core.StreamAnalyzeContext(ctx, src, core.StreamOptions{
+		Workers: r.workers,
+		Metrics: r.cfg.Metrics,
+		Events:  r.cfg.Events,
+	})
+}
+
+// execRender writes every figure's data as manifested CSV artifacts.
+// On a resumed run whose analyze stage completed in an earlier process
+// the figures are not in memory; the streaming analysis is re-derived
+// from disk — deterministic, so the rendered bytes cannot differ.
+func (r *runner) execRender(ctx context.Context) error {
+	if r.figs == nil {
+		sa, err := r.analyze(ctx)
+		if err != nil {
+			return err
+		}
+		r.figs = sa.Figures()
+	}
+	files := make(map[string]string, len(r.figs))
+	for id, f := range r.figs {
+		files[id+".csv"] = f.CSV()
+	}
+	return store.ExportFiguresFS(r.cfg.FS, r.result.FiguresDir, r.cfg.effectiveSeed(), r.cfg.Scale, files)
+}

@@ -13,6 +13,7 @@ import (
 
 	"satcell/internal/channel"
 	"satcell/internal/dataset"
+	"satcell/internal/faults"
 	"satcell/internal/geo"
 	"satcell/internal/obs"
 	"satcell/internal/stats"
@@ -578,22 +579,6 @@ func accumulateShard(p *partial, sh *Shard, info SourceInfo, incumbent *timeline
 	return
 }
 
-// backoffDelay is the wait before retry attempt n of shard index:
-// capped exponential growth plus a jitter hashed from (index, attempt)
-// rather than drawn from a shared RNG, so replays and different worker
-// interleavings back off identically.
-func backoffDelay(base time.Duration, index, attempt int) time.Duration {
-	d := base << (attempt - 1)
-	if ceil := base * 20; d > ceil {
-		d = ceil
-	}
-	h := uint64(index+1)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
-	h ^= h >> 31
-	h *= 0x94d049bb133111eb
-	h ^= h >> 28
-	return d + time.Duration(h%uint64(d/2+1))
-}
-
 // processShard loads and folds one shard, retrying transient load
 // failures with capped deterministic backoff. Panics (in the source or
 // the accumulator) become poison outcomes instead of killing the
@@ -631,7 +616,7 @@ func processShard(ctx context.Context, src ShardSource, ref ShardRef, info Sourc
 		case <-ctx.Done():
 			out.class, out.err = FailTransient, ctx.Err()
 			return out
-		case <-time.After(backoffDelay(opts.retryBackoff(), ref.Index, out.attempts)):
+		case <-time.After(faults.BackoffDelay(opts.retryBackoff(), ref.Index, out.attempts)):
 		}
 	}
 }

@@ -8,12 +8,17 @@
 package dataset
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"satcell/internal/channel"
+	"satcell/internal/faults"
 	"satcell/internal/geo"
 	"satcell/internal/mobility"
 	"satcell/internal/obs"
@@ -200,6 +205,11 @@ type Dataset struct {
 	// Scenario names the scenario the campaign ran (may be empty).
 	Scenario string
 
+	// Quarantined itemises the drives generation gave up on under
+	// Config.Degrade (sorted by drive index). Their Drives slots remain
+	// — indices name shards — but hold no observations and no tests.
+	Quarantined []DriveFailure
+
 	TotalKm      float64
 	TotalTestMin float64
 	Seed         int64
@@ -235,6 +245,26 @@ type Config struct {
 	// Instrumentation never feeds back into generation: the campaign
 	// stays bit-identical with or without it.
 	Metrics *obs.Registry
+
+	// Degrade turns on degrade-don't-abort generation: every (drive,
+	// network) sampling unit runs behind a recover fence, transient
+	// failures are retried with the shared backoff policy, and a unit
+	// that panics or exhausts its retries quarantines its whole drive
+	// (recorded in Dataset.Quarantined) instead of aborting the run.
+	// Off by default: the fenceless path is the one the golden-digest
+	// tests pin.
+	Degrade bool
+	// MaxUnitRetries bounds transient retries per generation unit under
+	// Degrade; 0 means the default (2), negative means no retries.
+	MaxUnitRetries int
+	// UnitRetryBackoff is the base of the capped-jittered retry backoff
+	// under Degrade; 0 means the default (5ms).
+	UnitRetryBackoff time.Duration
+	// BeforeUnit, if set, runs before each (drive, network) sampling
+	// unit — the generation sibling of ExportOptions.BeforeFile. The
+	// chaos tests use it to inject unit failures and crash points; an
+	// error or panic from it is handled per the Degrade taxonomy.
+	BeforeUnit func(drive int, network channel.NetworkID) error
 }
 
 // Paper-scale targets (§3.3).
@@ -260,6 +290,19 @@ const (
 // output is bit-identical for every Config.Workers value — including
 // the original single-threaded generator.
 func Generate(cfg Config) *Dataset {
+	ds, err := GenerateContext(context.Background(), cfg)
+	if err != nil {
+		// Background never cancels; GenerateContext has no other errors.
+		panic(err)
+	}
+	return ds
+}
+
+// GenerateContext is Generate with cooperative cancellation: worker
+// units observe ctx between items, and a cancelled context returns
+// ctx.Err() instead of a dataset. Cancellation is the only error —
+// invalid scenarios still panic, and Degrade failures degrade.
+func GenerateContext(ctx context.Context, cfg Config) (*Dataset, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 0.05
 	}
@@ -314,9 +357,26 @@ func Generate(cfg Config) *Dataset {
 		return remaining / (float64(done) / el)
 	})
 
-	ds.Drives = executeDrives(drives, nets, modelBuilders(sc, nets, cfg.Seed), workers, reg)
-	ds.Tests = executeTests(tests, ds.Drives, cfg.Seed, workers, reg)
-	return ds
+	ds.Drives, ds.Quarantined = executeDrives(ctx, drives, nets, modelBuilders(sc, nets, cfg.Seed), workers, &cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Quarantined drives contribute no tests; surviving test IDs were
+	// assigned at planning and do not shift.
+	if len(ds.Quarantined) > 0 {
+		kept := tests[:0]
+		for _, t := range tests {
+			if !ds.DriveQuarantined(t.drive) {
+				kept = append(kept, t)
+			}
+		}
+		tests = kept
+	}
+	ds.Tests = executeTests(ctx, tests, ds.Drives, cfg.Seed, workers, reg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return ds, nil
 }
 
 // drivePlan is the planning-pass record of one route traversal: the
@@ -406,44 +466,158 @@ func modelBuilders(sc *Scenario, nets []channel.NetworkID, seed int64) map[chann
 }
 
 // executeDrives samples every (drive, network) channel observation
-// sequence across the worker pool.
-func executeDrives(plans []drivePlan, nets []channel.NetworkID, builders map[channel.NetworkID]channel.Builder, workers int, reg *obs.Registry) []Drive {
+// sequence across the worker pool. Under cfg.Degrade each unit runs
+// behind a recover fence with transient retries; a unit that panics or
+// exhausts its retries quarantines its whole drive, and the pool moves
+// on. The fenceless default path is byte-for-byte the original one.
+func executeDrives(ctx context.Context, plans []drivePlan, nets []channel.NetworkID, builders map[channel.NetworkID]channel.Builder, workers int, cfg *Config) ([]Drive, []DriveFailure) {
+	reg := cfg.Metrics
 	sampled := make([][][]channel.Record, len(plans))
 	for i := range sampled {
 		sampled[i] = make([][]channel.Record, len(nets))
 	}
 	unitsDone := reg.Counter("dataset.drive_units_done")
+	// samplesDone ticks once per channel sample — fine-grained enough
+	// that a stall watchdog can tell "one long unit, still sampling"
+	// from "wedged" at any campaign scale.
+	samplesDone := reg.Counter("dataset.samples_done")
+	unitRetries := reg.Counter("dataset.unit_retries")
+	drivesQuarantined := reg.Counter("dataset.drives_quarantined")
+
+	var mu sync.Mutex
+	quarantined := make(map[int]*DriveFailure)
+	isQuarantined := func(di int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return quarantined[di] != nil
+	}
+	quarantine := func(f *DriveFailure) {
+		mu.Lock()
+		defer mu.Unlock()
+		// First failure wins: a drive is quarantined once, whichever of
+		// its units trips first in pool order.
+		if quarantined[f.Drive] == nil {
+			quarantined[f.Drive] = f
+			drivesQuarantined.Inc()
+		}
+	}
+	maxRetries := cfg.MaxUnitRetries
+	if maxRetries == 0 {
+		maxRetries = 2
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := cfg.UnitRetryBackoff
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
+
 	forEachIndex(workers, len(plans)*len(nets), func(k int) {
 		di, ni := k/len(nets), k%len(nets)
-		m := builders[nets[ni]]()
-		fixes := plans[di].fixes
-		recs := make([]channel.Record, len(fixes))
-		for j, f := range fixes {
-			env := channel.Env{At: f.At, Pos: f.Pos, SpeedKmh: f.SpeedKmh, Area: f.Area}
-			recs[j] = channel.Record{Env: env, Sample: m.Sample(env)}
+		if ctx.Err() != nil {
+			return
 		}
-		sampled[di][ni] = recs
+		n := nets[ni]
+		runUnit := func() error {
+			if cfg.BeforeUnit != nil {
+				if err := cfg.BeforeUnit(di, n); err != nil {
+					return err
+				}
+			}
+			m := builders[n]()
+			fixes := plans[di].fixes
+			recs := make([]channel.Record, len(fixes))
+			for j, f := range fixes {
+				env := channel.Env{At: f.At, Pos: f.Pos, SpeedKmh: f.SpeedKmh, Area: f.Area}
+				recs[j] = channel.Record{Env: env, Sample: m.Sample(env)}
+				samplesDone.Inc()
+			}
+			sampled[di][ni] = recs
+			return nil
+		}
+		if !cfg.Degrade {
+			if err := runUnit(); err != nil {
+				// BeforeUnit is a degrade-mode seam; without the taxonomy
+				// there is nowhere to degrade to, so fail loudly.
+				panic(err)
+			}
+			unitsDone.Inc()
+			return
+		}
+		if isQuarantined(di) {
+			unitsDone.Inc()
+			return
+		}
+		for attempt := 1; ; attempt++ {
+			err := runFenced(runUnit)
+			if err == nil {
+				break
+			}
+			if ctx.Err() != nil {
+				// Cancellation mid-unit is the run stopping, not the drive
+				// failing: leave no quarantine record behind.
+				return
+			}
+			var pe *unitPanic
+			if errors.As(err, &pe) {
+				quarantine(&DriveFailure{
+					Drive: di, Route: plans[di].route.Name, Network: n,
+					Attempts: attempt, Class: FailPanic, Err: err.Error(),
+				})
+				break
+			}
+			if attempt > maxRetries {
+				quarantine(&DriveFailure{
+					Drive: di, Route: plans[di].route.Name, Network: n,
+					Attempts: attempt, Class: FailTransient, Err: err.Error(),
+				})
+				break
+			}
+			unitRetries.Inc()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(faults.BackoffDelay(backoff, k, attempt)):
+			}
+		}
 		unitsDone.Inc()
 	})
+
 	out := make([]Drive, len(plans))
 	for i, p := range plans {
-		d := Drive{
-			Route: p.route.Name, State: p.route.State, Fixes: p.fixes,
-			Observed: make(map[channel.NetworkID][]channel.Record, len(nets)),
-		}
-		for ni, n := range nets {
-			d.Observed[n] = sampled[i][ni]
+		d := Drive{Route: p.route.Name, State: p.route.State, Fixes: p.fixes}
+		if quarantined[i] == nil {
+			d.Observed = make(map[channel.NetworkID][]channel.Record, len(nets))
+			for ni, n := range nets {
+				d.Observed[n] = sampled[i][ni]
+			}
 		}
 		out[i] = d
 	}
-	return out
+	fails := make([]DriveFailure, 0, len(quarantined))
+	for _, f := range quarantined {
+		fails = append(fails, *f)
+	}
+	sort.Slice(fails, func(i, j int) bool { return fails[i].Drive < fails[j].Drive })
+	return out, fails
+}
+
+// runFenced runs one generation unit behind a recover fence, converting
+// a panic into a *unitPanic error for the taxonomy.
+func runFenced(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &unitPanic{val: r}
+		}
+	}()
+	return fn()
 }
 
 // executeTests evaluates every planned test window across the worker
 // pool. Each test draws from its own derived RNG (seed ^ id), so the
 // evaluation order cannot change results. Per-worker counters show how
 // the pool's work balanced; they label worker slots, never steer them.
-func executeTests(plans []testPlan, drives []Drive, seed int64, workers int, reg *obs.Registry) []Test {
+func executeTests(ctx context.Context, plans []testPlan, drives []Drive, seed int64, workers int, reg *obs.Registry) []Test {
 	out := make([]Test, len(plans))
 	done := reg.Counter("dataset.tests_done")
 	perWorker := make([]*obs.Counter, workers)
@@ -451,6 +625,9 @@ func executeTests(plans []testPlan, drives []Drive, seed int64, workers int, reg
 		perWorker[w] = reg.Counter(fmt.Sprintf("dataset.worker.%02d.tests", w))
 	}
 	forEachIndexWorker(workers, len(plans), func(w, i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		p := plans[i]
 		trng := rand.New(rand.NewSource(seed ^ int64(p.id+1)*0x9E3779B9))
 		out[i] = buildTest(p.id, p.net, p.kind, drives[p.drive], p.start, p.dur, trng)

@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"fmt"
+
+	"satcell/internal/channel"
+)
+
+// Failure taxonomy of a generation unit, mirroring the streaming
+// analyzer's shard classes: transient failures (the injected I/O seam
+// may answer differently next time) are retried, panics poison the
+// drive and quarantine it at once — never the run.
+const (
+	FailTransient = "transient"
+	FailPanic     = "panic"
+)
+
+// DriveFailure itemises one drive the campaign generator could not
+// measure: a (drive, network) unit panicked or exhausted its retries,
+// so the whole drive is quarantined — its slot stays in Dataset.Drives
+// (indices are load-bearing shard names) but it carries no observations
+// and contributes no tests. The export and the analyzer's completeness
+// certificate both carry the record forward.
+type DriveFailure struct {
+	Drive    int               `json:"drive"`
+	Route    string            `json:"route"`
+	Network  channel.NetworkID `json:"network"`
+	Attempts int               `json:"attempts"`
+	Class    string            `json:"class"`
+	Err      string            `json:"err"`
+}
+
+// String renders the failure for certificates and logs.
+func (f DriveFailure) String() string {
+	return fmt.Sprintf("drive%03d %s %s: %s after %d attempt(s): %s",
+		f.Drive, f.Route, f.Network, f.Class, f.Attempts, f.Err)
+}
+
+// DriveQuarantined reports whether drive i was quarantined during
+// generation (its Observed map is nil and it has no tests).
+func (ds *Dataset) DriveQuarantined(i int) bool {
+	for _, f := range ds.Quarantined {
+		if f.Drive == i {
+			return true
+		}
+	}
+	return false
+}
+
+// unitPanic wraps a recovered generation-unit panic so the retry loop
+// can tell it apart from an ordinary error.
+type unitPanic struct {
+	val any
+}
+
+func (p *unitPanic) Error() string { return fmt.Sprintf("panic: %v", p.val) }

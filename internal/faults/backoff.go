@@ -1,0 +1,29 @@
+package faults
+
+import "time"
+
+// BackoffDelay is the shared capped-jittered retry policy of the
+// degrading supervisors (the streaming shard pipeline, the campaign
+// stage runner, the generation unit retries): the wait before retry
+// attempt n of work item index. Growth is exponential in the attempt,
+// capped at 20x the base, plus a jitter hashed from (index, attempt)
+// rather than drawn from a shared RNG — so replays and different worker
+// interleavings back off identically, preserving the subsystem-wide
+// determinism contract.
+func BackoffDelay(base time.Duration, index, attempt int) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base << (attempt - 1)
+	if ceil := base * 20; d > ceil || d <= 0 {
+		d = ceil
+	}
+	h := uint64(index+1)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 28
+	return d + time.Duration(h%uint64(d/2+1))
+}

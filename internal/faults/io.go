@@ -53,12 +53,17 @@ const (
 	// IOStall delays a Read by the rule's Stall duration (a seeking
 	// disk, a hiccuping network filesystem).
 	IOStall
+	// IOWriteStall delays a Write by the rule's Stall duration — the
+	// write-path sibling of IOStall (a congested disk, a throttled
+	// network filesystem). The campaign stall-watchdog chaos suite uses
+	// it to wedge a shard export deterministically.
+	IOWriteStall
 )
 
 var ioKindNames = map[IOFaultKind]string{
 	IONone: "none", IOReadErr: "read-err", IOShortRead: "short-read",
 	IOBitFlip: "bitflip", IOWriteErr: "enospc", IOShortWrite: "short-write",
-	IOTornRename: "torn-rename", IOStall: "stall",
+	IOTornRename: "torn-rename", IOStall: "stall", IOWriteStall: "write-stall",
 }
 
 // String names the kind the way ParseIOSpec spells it.
@@ -84,7 +89,7 @@ const (
 // op returns the operation class a fault kind fires on.
 func (k IOFaultKind) op() IOOp {
 	switch k {
-	case IOWriteErr, IOShortWrite:
+	case IOWriteErr, IOShortWrite, IOWriteStall:
 		return IOOpWrite
 	case IOTornRename:
 		return IOOpRename
@@ -157,7 +162,8 @@ func (s *IOSchedule) String() string {
 // ParseIOSpec builds an I/O schedule from a compact scenario string.
 // Entries are ';'-separated, each "kind:glob[:mod[:mod...]]" where kind
 // is one of read-err, short-read, bitflip, enospc, short-write,
-// torn-rename, stall; glob matches file base names ("*" for all); and
+// torn-rename, stall, write-stall; glob matches file base names ("*"
+// for all); and
 // mods are "xN" (fire on each file's first N matching ops; default
 // every op), "@P" (fire with probability P per op) and "+DUR" (stall
 // duration, stall rules only):
@@ -219,7 +225,7 @@ func ParseIOSpec(spec string, seed int64) (IOSchedule, error) {
 				return IOSchedule{}, fmt.Errorf("faults: %q: unknown modifier %q", entry, mod)
 			}
 		}
-		if r.Kind == IOStall && r.Stall <= 0 {
+		if (r.Kind == IOStall || r.Kind == IOWriteStall) && r.Stall <= 0 {
 			return IOSchedule{}, fmt.Errorf("faults: %q: stall rules need a +DUR modifier", entry)
 		}
 		s.Rules = append(s.Rules, r)
@@ -336,7 +342,7 @@ func (j *IOInjector) count(k IOFaultKind) {
 		j.stats.ShortWrites++
 	case IOTornRename:
 		j.stats.TornRenames++
-	case IOStall:
+	case IOStall, IOWriteStall:
 		j.stats.Stalls++
 	}
 }

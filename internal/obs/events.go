@@ -42,6 +42,12 @@ const (
 	// bad (Detail names the shard and the cause).
 	EvShardRetry      EventKind = "shard-retry"
 	EvShardQuarantine EventKind = "shard-quarantine"
+	// EvStageStart / EvStageEnd / EvStageStall: the campaign supervisor
+	// entered / finished a pipeline stage / declared it stalled (Detail
+	// names the stage and, for stalls, the attempt).
+	EvStageStart EventKind = "stage-start"
+	EvStageEnd   EventKind = "stage-end"
+	EvStageStall EventKind = "stage-stall"
 )
 
 // Event is one traced occurrence, keyed by monotonic elapsed time since

@@ -1,22 +1,10 @@
 package store
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 )
-
-// checkpointMeta is the first line of the CHECKPOINT journal: the
-// campaign parameters the journal belongs to. A resume with different
-// parameters would silently mix two campaigns, so it is refused.
-type checkpointMeta struct {
-	Schema int     `json:"schema"`
-	Tool   string  `json:"tool"`
-	Seed   int64   `json:"seed"`
-	Scale  float64 `json:"scale"`
-}
 
 // checkpointEntry journals one completed shard.
 type checkpointEntry struct {
@@ -24,12 +12,13 @@ type checkpointEntry struct {
 	FileInfo
 }
 
-// checkpoint is the append-only shard journal of an in-flight export.
-// Each completed shard appends one fsynced JSON line, so after a crash
-// the journal names every shard that was durably renamed into place; a
-// torn final line (crash mid-append) is ignored on replay.
+// checkpoint is the append-only shard journal of an in-flight export,
+// built on the shared Journal primitive. Each completed shard appends
+// one fsynced JSON line, so after a crash the journal names every shard
+// that was durably renamed into place; a torn final line (crash
+// mid-append) is ignored on replay.
 type checkpoint struct {
-	f File
+	j *Journal
 }
 
 // openCheckpoint opens dir's journal through fsys. With resume=false
@@ -37,107 +26,34 @@ type checkpoint struct {
 // resume=true the existing journal is replayed: its meta line must
 // match meta, and the claimed entries are returned for the caller to
 // verify against disk.
-func openCheckpoint(fsys FS, dir string, meta checkpointMeta, resume bool) (*checkpoint, map[string]FileInfo, error) {
-	fsys = orOS(fsys)
-	path := filepath.Join(dir, CheckpointName)
+func openCheckpoint(fsys FS, dir string, meta JournalMeta, resume bool) (*checkpoint, map[string]FileInfo, error) {
+	j, raw, err := OpenJournal(fsys, filepath.Join(dir, CheckpointName), meta, resume)
+	if err != nil {
+		return nil, nil, err
+	}
 	claimed := make(map[string]FileInfo)
-	if resume {
-		prev, err := readCheckpoint(fsys, path)
-		if err != nil {
-			return nil, nil, err
-		}
-		if prev != nil {
-			if prev.meta != meta {
-				return nil, nil, fmt.Errorf(
-					"store: resume mismatch: %s was generating tool=%s seed=%d scale=%g, asked to resume tool=%s seed=%d scale=%g",
-					CheckpointName, prev.meta.Tool, prev.meta.Seed, prev.meta.Scale,
-					meta.Tool, meta.Seed, meta.Scale)
-			}
-			claimed = prev.entries
-			f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-			if err != nil {
-				return nil, nil, err
-			}
-			return &checkpoint{f: f}, claimed, nil
-		}
-	}
-	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return nil, nil, err
-	}
-	cp := &checkpoint{f: f}
-	if err := cp.append(meta); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	return cp, claimed, nil
-}
-
-// readCheckpoint replays a journal; a missing file returns (nil, nil).
-type replayedCheckpoint struct {
-	meta    checkpointMeta
-	entries map[string]FileInfo
-}
-
-func readCheckpoint(fsys FS, path string) (*replayedCheckpoint, error) {
-	f, err := fsys.Open(path)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	if !sc.Scan() {
-		// Empty journal (crashed before the meta line landed): treat as
-		// absent so the export starts a fresh one.
-		return nil, sc.Err()
-	}
-	var meta checkpointMeta
-	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
-		return nil, fmt.Errorf("store: parse %s meta: %w", CheckpointName, err)
-	}
-	if meta.Schema < 1 || meta.Schema > SchemaVersion {
-		return nil, fmt.Errorf("store: %s schema %d not supported (this build reads <= %d)",
-			CheckpointName, meta.Schema, SchemaVersion)
-	}
-	out := &replayedCheckpoint{meta: meta, entries: make(map[string]FileInfo)}
-	for sc.Scan() {
+	for _, line := range raw {
 		var e checkpointEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			// A torn final line is the expected crash artifact; anything
-			// journalled after it cannot exist, so stop replaying here.
-			break
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Replay already dropped the torn tail; a line that parses as
+			// JSON but not as an entry is corruption, not a crash artifact.
+			j.Close()
+			return nil, nil, fmt.Errorf("store: parse %s entry: %w", CheckpointName, err)
 		}
 		if !safeArtifactName(e.Name) {
-			return nil, fmt.Errorf("store: %s journals unsafe file name %q", CheckpointName, e.Name)
+			j.Close()
+			return nil, nil, fmt.Errorf("store: %s journals unsafe file name %q", CheckpointName, e.Name)
 		}
-		out.entries[e.Name] = e.FileInfo
+		claimed[e.Name] = e.FileInfo
 	}
-	return out, sc.Err()
+	return &checkpoint{j: j}, claimed, nil
 }
 
 // record journals one completed shard durably.
 func (c *checkpoint) record(name string, fi FileInfo) error {
-	return c.append(checkpointEntry{Name: name, FileInfo: fi})
-}
-
-func (c *checkpoint) append(v any) error {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	if _, err := c.f.Write(append(b, '\n')); err != nil {
-		return fmt.Errorf("store: append %s: %w", CheckpointName, err)
-	}
-	if err := c.f.Sync(); err != nil {
-		return fmt.Errorf("store: fsync %s: %w", CheckpointName, err)
-	}
-	return nil
+	return c.j.Append(checkpointEntry{Name: name, FileInfo: fi})
 }
 
 // close closes the journal file (the journal itself stays on disk until
 // the export finishes and removes it).
-func (c *checkpoint) close() error { return c.f.Close() }
+func (c *checkpoint) close() error { return c.j.Close() }

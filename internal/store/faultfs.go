@@ -177,6 +177,8 @@ func (f *faultFile) Read(p []byte) (int, error) {
 func (f *faultFile) Write(p []byte) (int, error) {
 	d := f.fs.inj.Decide(faults.IOOpWrite, f.base)
 	switch d.Kind {
+	case faults.IOWriteStall:
+		time.Sleep(d.Stall)
 	case faults.IOWriteErr:
 		return 0, &fs.PathError{Op: "write", Path: f.base, Err: fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)}
 	case faults.IOShortWrite:

@@ -2,7 +2,6 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -57,8 +56,16 @@ func (r *FsckReport) problem(file, format string, args ...any) {
 // when the directory itself cannot be read; integrity findings land in
 // the report.
 func Fsck(dir string) (*FsckReport, error) {
+	return FsckFS(nil, dir)
+}
+
+// FsckFS is Fsck through an explicit FS (nil means the real
+// filesystem), so the campaign supervisor's verify stage audits the
+// same — possibly fault-injected — filesystem the export wrote.
+func FsckFS(fsys FS, dir string) (*FsckReport, error) {
+	fsys = orOS(fsys)
 	rep := &FsckReport{Dir: dir}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +89,7 @@ func Fsck(dir string) (*FsckReport, error) {
 		return rep, nil
 	}
 
-	m, err := ReadManifest(dir)
+	m, err := ReadManifestFS(fsys, dir)
 	if err != nil {
 		rep.problem(ManifestName, "%v", err)
 		return rep, nil
@@ -94,14 +101,14 @@ func Fsck(dir string) (*FsckReport, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		rep.FilesChecked++
-		if err := m.VerifyFile(dir, name); err != nil {
+		if err := m.VerifyFileFS(fsys, dir, name); err != nil {
 			rep.problem(name, "%v", err)
 			continue
 		}
-		fsckContent(dir, name, m.Files[name], rep)
+		fsckContent(fsys, dir, name, m.Files[name], rep)
 	}
 	for name := range onDisk {
-		if name == ManifestName || name == CheckpointName || IsTempFile(name) {
+		if name == ManifestName || name == CheckpointName || name == LockName || IsTempFile(name) {
 			continue
 		}
 		if _, ok := m.Files[name]; !ok {
@@ -116,11 +123,11 @@ func Fsck(dir string) (*FsckReport, error) {
 // increasing timestamps. The checksum already rules out disk
 // corruption; these checks catch writer bugs and hand-edited files
 // whose manifest was regenerated around them.
-func fsckContent(dir, name string, fi FileInfo, rep *FsckReport) {
+func fsckContent(fsys FS, dir, name string, fi FileInfo, rep *FsckReport) {
 	path := filepath.Join(dir, name)
 	switch {
 	case name == "tests.csv":
-		rows, loadRep, err := LoadTests(path, Strict)
+		rows, loadRep, err := LoadTestsFS(fsys, path, Strict)
 		if err != nil {
 			rep.problem(name, "%v", err)
 			return
@@ -130,7 +137,7 @@ func fsckContent(dir, name string, fi FileInfo, rep *FsckReport) {
 			rep.problem(name, "row count %d, manifest says %d", len(rows), fi.Rows)
 		}
 	case strings.HasPrefix(name, "drive") && strings.HasSuffix(name, ".csv"):
-		tr, loadRep, err := LoadTrace(path, Strict)
+		tr, loadRep, err := LoadTraceFS(fsys, path, Strict)
 		if err != nil {
 			rep.problem(name, "%v", err)
 			return

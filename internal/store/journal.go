@@ -1,0 +1,128 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// JournalMeta is the first line of every append-only journal: the
+// campaign parameters the journal belongs to. A resume with different
+// parameters would silently mix two campaigns, so it is refused.
+type JournalMeta struct {
+	Schema int     `json:"schema"`
+	Tool   string  `json:"tool"`
+	Seed   int64   `json:"seed"`
+	Scale  float64 `json:"scale"`
+}
+
+// Journal is the crash-only append-only journal primitive behind the
+// export CHECKPOINT and the campaign supervisor's stage log: one JSON
+// object per line, each append fsynced before it is acknowledged, so
+// after a `kill -9` the file names exactly the work that was durably
+// completed. The first line is the JournalMeta; a torn final line (the
+// crash landed mid-append) is ignored on replay — everything journalled
+// after it cannot have been acknowledged.
+type Journal struct {
+	f File
+}
+
+// OpenJournal opens path's journal through fsys (nil means the real
+// filesystem). With resume=false any previous journal is discarded and
+// a fresh one started (the meta line is appended durably before
+// OpenJournal returns). With resume=true an existing journal is
+// replayed: its meta line must match meta, the surviving entries are
+// returned as raw JSON for the caller to decode, and subsequent appends
+// extend the same file.
+func OpenJournal(fsys FS, path string, meta JournalMeta, resume bool) (*Journal, []json.RawMessage, error) {
+	fsys = orOS(fsys)
+	if resume {
+		prevMeta, entries, err := replayJournal(fsys, path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if prevMeta != nil {
+			if *prevMeta != meta {
+				return nil, nil, fmt.Errorf(
+					"store: resume mismatch: %s was written by tool=%s seed=%d scale=%g, asked to resume tool=%s seed=%d scale=%g",
+					filepath.Base(path), prevMeta.Tool, prevMeta.Seed, prevMeta.Scale,
+					meta.Tool, meta.Seed, meta.Scale)
+			}
+			f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, nil, err
+			}
+			return &Journal{f: f}, entries, nil
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{f: f}
+	if err := j.Append(meta); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return j, nil, nil
+}
+
+// replayJournal reads a journal's meta line and surviving entries; a
+// missing or empty file (crashed before the meta line landed) returns
+// (nil, nil, nil) so the caller starts fresh.
+func replayJournal(fsys FS, path string) (*JournalMeta, []json.RawMessage, error) {
+	f, err := fsys.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	name := filepath.Base(path)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, nil, sc.Err()
+	}
+	var meta JournalMeta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return nil, nil, fmt.Errorf("store: parse %s meta: %w", name, err)
+	}
+	if meta.Schema < 1 || meta.Schema > SchemaVersion {
+		return nil, nil, fmt.Errorf("store: %s schema %d not supported (this build reads <= %d)",
+			name, meta.Schema, SchemaVersion)
+	}
+	var entries []json.RawMessage
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			// A torn final line is the expected crash artifact; anything
+			// journalled after it cannot exist, so stop replaying here.
+			break
+		}
+		entries = append(entries, json.RawMessage(append([]byte(nil), sc.Bytes()...)))
+	}
+	return &meta, entries, sc.Err()
+}
+
+// Append journals v durably: marshal, write one line, fsync. The entry
+// exists for every replay after Append returns.
+func (j *Journal) Append(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("store: append %s: %w", filepath.Base(j.f.Name()), err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync %s: %w", filepath.Base(j.f.Name()), err)
+	}
+	return nil
+}
+
+// Close closes the journal file. The journal itself stays on disk: it
+// is the durable run record until the owner retires it.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// LockName is the advisory lockfile guarding an artifact directory.
+const LockName = "LOCK"
+
+// lockInfo is the lockfile's content: enough to name the holder in an
+// error and to detect that it is dead.
+type lockInfo struct {
+	PID   int    `json:"pid"`
+	Start string `json:"start"`
+	Tool  string `json:"tool"`
+}
+
+// Lock is a held advisory directory lock.
+type Lock struct {
+	fsys FS
+	path string
+}
+
+// AcquireLock takes the advisory lock on dir (creating LockName with
+// O_EXCL), so two writers — say a drivegen -resume and a campaign
+// supervisor — cannot interleave atomic renames and checkpoint appends
+// in one directory. A lockfile whose recorded pid is dead (or whose
+// content is torn) is a crash leftover: it is taken over, not obeyed.
+// A live holder yields an error naming its pid, tool and start time.
+func AcquireLock(fsys FS, dir, tool string) (*Lock, error) {
+	fsys = orOS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, LockName)
+	info := lockInfo{PID: os.Getpid(), Start: time.Now().UTC().Format(time.RFC3339), Tool: tool}
+	b, err := json.Marshal(info)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			if _, werr := f.Write(append(b, '\n')); werr != nil {
+				f.Close()
+				fsys.Remove(path)
+				return nil, fmt.Errorf("store: write %s: %w", LockName, werr)
+			}
+			if serr := f.Sync(); serr != nil {
+				f.Close()
+				fsys.Remove(path)
+				return nil, fmt.Errorf("store: fsync %s: %w", LockName, serr)
+			}
+			if cerr := f.Close(); cerr != nil {
+				fsys.Remove(path)
+				return nil, cerr
+			}
+			return &Lock{fsys: fsys, path: path}, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		holder, herr := readLockInfo(fsys, path)
+		if herr == nil && holder.PID > 0 && pidAlive(holder.PID) {
+			return nil, fmt.Errorf(
+				"store: %s is locked by %s (pid %d, started %s); if that process is gone, remove %s",
+				dir, holder.Tool, holder.PID, holder.Start, path)
+		}
+		// Dead pid, unreadable or torn lockfile: a crash left it behind.
+		// Remove and retry the exclusive create — losing the race to
+		// another taker is fine, the next attempt sees their live lock.
+		if rerr := fsys.Remove(path); rerr != nil && !os.IsNotExist(rerr) {
+			return nil, fmt.Errorf("store: take over stale %s: %w", LockName, rerr)
+		}
+	}
+	return nil, fmt.Errorf("store: could not acquire %s after stale-lock takeovers", path)
+}
+
+// readLockInfo parses the lockfile; any unreadable content is an error
+// (the caller treats it as stale).
+func readLockInfo(fsys FS, path string) (lockInfo, error) {
+	var info lockInfo
+	f, err := fsys.Open(path)
+	if err != nil {
+		return info, err
+	}
+	defer f.Close()
+	b, err := io.ReadAll(io.LimitReader(f, 4096))
+	if err != nil {
+		return info, err
+	}
+	if err := json.Unmarshal(b, &info); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// pidAlive reports whether pid exists (signal 0 probe). EPERM means it
+// exists under another uid — still alive for locking purposes.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// Release drops the lock. Safe to call more than once.
+func (l *Lock) Release() error {
+	if l == nil || l.path == "" {
+		return nil
+	}
+	path := l.path
+	l.path = ""
+	if err := l.fsys.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

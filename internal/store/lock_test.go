@@ -1,0 +1,147 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLockContention(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := AcquireLock(nil, dir, "holder-tool")
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer l1.Release()
+
+	_, err = AcquireLock(nil, dir, "intruder")
+	if err == nil {
+		t.Fatalf("second acquire succeeded while the lock is held")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "holder-tool") {
+		t.Errorf("contention error does not name the holding tool: %v", err)
+	}
+	if !strings.Contains(msg, fmt.Sprint(os.Getpid())) {
+		t.Errorf("contention error does not name the holding pid: %v", err)
+	}
+}
+
+func TestLockReleaseReacquire(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := AcquireLock(nil, dir, "a")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatalf("double release: %v", err)
+	}
+	l2, err := AcquireLock(nil, dir, "b")
+	if err != nil {
+		t.Fatalf("re-acquire after release: %v", err)
+	}
+	l2.Release()
+}
+
+// TestLockStaleDeadPid plants a lockfile naming a pid that is certainly
+// dead (a just-reaped child), and expects a silent takeover.
+func TestLockStaleDeadPid(t *testing.T) {
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("cannot spawn probe child: %v", err)
+	}
+	deadPID := cmd.Process.Pid
+
+	dir := t.TempDir()
+	info := lockInfo{PID: deadPID, Start: time.Now().UTC().Format(time.RFC3339), Tool: "crashed-tool"}
+	b, _ := json.Marshal(info)
+	if err := os.WriteFile(filepath.Join(dir, LockName), append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := AcquireLock(nil, dir, "taker")
+	if err != nil {
+		t.Fatalf("takeover of dead pid %d failed: %v", deadPID, err)
+	}
+	defer l.Release()
+	got, err := readLockInfo(orOS(nil), filepath.Join(dir, LockName))
+	if err != nil {
+		t.Fatalf("read lock after takeover: %v", err)
+	}
+	if got.PID != os.Getpid() || got.Tool != "taker" {
+		t.Errorf("lock after takeover = %+v, want pid %d tool taker", got, os.Getpid())
+	}
+}
+
+// TestLockTornContent treats an unparseable lockfile (crash mid-write)
+// as stale.
+func TestLockTornContent(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, LockName), []byte(`{"pid": 123`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := AcquireLock(nil, dir, "taker")
+	if err != nil {
+		t.Fatalf("takeover of torn lockfile failed: %v", err)
+	}
+	l.Release()
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "J")
+	meta := JournalMeta{Schema: SchemaVersion, Tool: "t", Seed: 7, Scale: 0.5}
+
+	j, entries, err := OpenJournal(nil, path, meta, false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal replayed %d entries", len(entries))
+	}
+	type rec struct {
+		N int `json:"n"`
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(rec{N: i}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	j.Close()
+
+	// Simulate a torn final line: the crash landed mid-append.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"n": 99`)
+	f.Close()
+
+	j2, entries, err := OpenJournal(nil, path, meta, true)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	defer j2.Close()
+	if len(entries) != 3 {
+		t.Fatalf("resume replayed %d entries, want 3 (torn tail dropped)", len(entries))
+	}
+	var last rec
+	if err := json.Unmarshal(entries[2], &last); err != nil || last.N != 2 {
+		t.Fatalf("entry 2 = %s (err %v), want n=2", entries[2], err)
+	}
+
+	// A resume with different campaign parameters must refuse.
+	j2.Close()
+	other := meta
+	other.Seed = 8
+	if _, _, err := OpenJournal(nil, path, other, true); err == nil {
+		t.Fatalf("resume with mismatched meta succeeded")
+	}
+}

@@ -42,6 +42,11 @@ type CampaignInfo struct {
 	Drives   int      `json:"drives"`
 	States   int      `json:"states"`
 	Networks []string `json:"networks,omitempty"`
+	// Quarantined itemises drives the degrading generator gave up on
+	// (one rendered dataset.DriveFailure per line): their shards are
+	// deliberately absent, and completeness certificates downstream
+	// carry the records forward instead of calling the export torn.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // Manifest describes one complete artifact directory.
