@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race chaos chaos-stream chaos-campaign bench bench-json fsck-suite obs-suite scenario-suite streaming-suite
+.PHONY: check build vet fmt test race chaos chaos-stream chaos-campaign flight-drill bench bench-json fsck-suite obs-suite scenario-suite streaming-suite
 
 check: build vet fmt test race
 
@@ -42,12 +42,15 @@ race:
 		./internal/campaign/
 
 # The obs suite exercises the observability layer under the race
-# detector: registry/tracer/logger concurrency, the debug endpoint, and
-# the relay counter conservation invariant (bytes in == bytes out +
-# drops) under concurrent client sessions.
+# detector: registry/tracer/logger concurrency, the debug endpoint, the
+# flight recorder (span tree round-trips, torn/open-span replay, sampler
+# goroutine hygiene, Prometheus exposition goldens), the relay counter
+# conservation invariant (bytes in == bytes out + drops) under
+# concurrent client sessions, and the zero-alloc guard that keeps spans
+# off the per-packet path.
 obs-suite:
 	$(GO) test -race -v -count=1 ./internal/obs/
-	$(GO) test -race -v -count=1 -run 'Relay.*(Counters|Noop|Restart)' ./internal/netem/
+	$(GO) test -race -v -count=1 -run 'Relay.*(Counters|Noop|Restart)|ZeroAllocUnderSpan' ./internal/netem/
 
 # The fsck suite exercises the crash-safe dataset store against seeded
 # corruption — truncation, bit-flips, torn renames, kill-and-resume —
@@ -78,11 +81,27 @@ chaos-stream:
 # CAMPAIGN journal and requires byte-identical artifacts vs an
 # uninterrupted run; plus watchdog stall-recovery under injected
 # write-stalls, panic->quarantine degradation with exit-code-3
-# certificates, verify->generate corruption healing, and the advisory
-# lock/journal crash-safety tests — all under the race detector.
+# certificates, verify->generate corruption healing, the TELEMETRY
+# flight-recorder tests (torn-tail replay, resume stitching, automatic
+# stall post-mortems), and the advisory lock/journal crash-safety tests
+# — all under the race detector.
 chaos-campaign:
 	$(GO) test -race -run 'Campaign|Lock|Journal' -v -count=1 -timeout 20m \
 		./internal/campaign/ ./internal/store/
+
+# The flight drill runs the real satcell-campaign binary under an
+# injected write-stall: the watchdog must trip, an automatic post-mortem
+# must land under postmortem/, the retried campaign must still converge
+# (exit 0), and the TELEMETRY journal must replay into a flight report.
+# CI uploads the journal as a workflow artifact.
+flight-drill:
+	rm -rf flight-drill-run
+	$(GO) run ./cmd/satcell-campaign -out flight-drill-run -scale 0.02 \
+		-workers 2 -networks RM,ATT -sample-interval 100ms \
+		-stall-window 500ms -iofaults 'write-stall:drive001_*:x2:+2500ms'
+	@test -s flight-drill-run/TELEMETRY || { echo "flight-drill: no TELEMETRY journal"; exit 1; }
+	@test -n "$$(ls flight-drill-run/postmortem 2>/dev/null)" || { echo "flight-drill: no post-mortem captured"; exit 1; }
+	$(GO) run ./cmd/satcell-campaign -out flight-drill-run -report
 
 # The scenario suite exercises the open network catalog and the
 # declarative campaign layer: catalog registration/round-trip/builder

@@ -26,23 +26,40 @@ var logger = obs.NewLogger("figures")
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 0.25, "campaign scale (1.0 = the paper's ~3,800 km)")
-		seed     = flag.Int64("seed", 42, "world seed")
-		only     = flag.String("figure", "", "render a single figure (e.g. fig3a)")
-		asCSV    = flag.Bool("csv", false, "emit the figure's data as CSV instead of text")
-		expOnly  = flag.Bool("experiments", false, "print only the paper-vs-measured table")
-		mpWin    = flag.Int("mp-window", 300, "MPTCP replay window (seconds)")
-		mpN      = flag.Int("mp-windows", 3, "MPTCP replay window count")
-		workers  = flag.Int("workers", 0, "worker goroutines for generation and the streaming analysis phase; 0 = one per core (GOMAXPROCS) for generation with the classic in-memory analyzer, >0 also streams the analysis, negative is rejected; output is identical for any value")
-		outDir   = flag.String("out", "", "also write figure data as manifested CSV artifacts into this directory")
-		netList  = flag.String("networks", "", "comma-separated network subset to measure (default: every catalog network)")
-		scenario = flag.String("scenario", "", "scenario spec, e.g. networks=RM,MOB;kinds=udp-down;seed=7 (overrides -networks)")
+		scale     = flag.Float64("scale", 0.25, "campaign scale (1.0 = the paper's ~3,800 km)")
+		seed      = flag.Int64("seed", 42, "world seed")
+		only      = flag.String("figure", "", "render a single figure (e.g. fig3a)")
+		asCSV     = flag.Bool("csv", false, "emit the figure's data as CSV instead of text")
+		expOnly   = flag.Bool("experiments", false, "print only the paper-vs-measured table")
+		mpWin     = flag.Int("mp-window", 300, "MPTCP replay window (seconds)")
+		mpN       = flag.Int("mp-windows", 3, "MPTCP replay window count")
+		workers   = flag.Int("workers", 0, "worker goroutines for generation and the streaming analysis phase; 0 = one per core (GOMAXPROCS) for generation with the classic in-memory analyzer, >0 also streams the analysis, negative is rejected; output is identical for any value")
+		outDir    = flag.String("out", "", "also write figure data as manifested CSV artifacts into this directory")
+		netList   = flag.String("networks", "", "comma-separated network subset to measure (default: every catalog network)")
+		scenario  = flag.String("scenario", "", "scenario spec, e.g. networks=RM,MOB;kinds=udp-down;seed=7 (overrides -networks)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars (live generation/analysis progress), /debug/metrics (Prometheus) and /debug/pprof/ on this address")
 	)
 	flag.Parse()
 
 	sc, err := scenarioFromFlags(*scenario, *netList)
 	if err != nil {
 		logger.Fatalf("%v", err)
+	}
+
+	// Instrumentation is opt-in: a registry only exists when there is a
+	// debug endpoint to read it, and it never alters the rendered bytes.
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.ServeDebug(*debugAddr, reg, nil, map[string]func() any{
+			"seed":  func() any { return *seed },
+			"scale": func() any { return *scale },
+		})
+		if err != nil {
+			logger.Fatalf("debug endpoint: %v", err)
+		}
+		defer srv.Close()
+		logger.Infof("debug endpoint on http://%s/debug/vars", srv.Addr())
 	}
 	// Validate only: 0 keeps its classic-analyzer meaning here, so the
 	// normalised value is not substituted back.
@@ -51,8 +68,8 @@ func main() {
 	}
 	world := satcell.NewWorld(*seed)
 	fmt.Fprintf(os.Stderr, "generating dataset (scale %.2f)...\n", *scale)
-	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale, Scenario: sc, Workers: *workers})
-	opts := satcell.FigureOptions{MultipathWindowSeconds: *mpWin, MultipathWindows: *mpN, Workers: *workers}
+	ds := world.GenerateDataset(satcell.DatasetOptions{Scale: *scale, Scenario: sc, Workers: *workers, Metrics: reg})
+	opts := satcell.FigureOptions{MultipathWindowSeconds: *mpWin, MultipathWindows: *mpN, Workers: *workers, Metrics: reg}
 
 	if *only != "" {
 		f := world.Figure(ds, *only, opts)

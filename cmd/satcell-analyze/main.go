@@ -28,20 +28,30 @@
 // error, strict-mode abort, interrupt), 3 = partial analysis with
 // quarantined shards (figures rendered, certificate itemises the loss).
 //
+// The -telemetry mode replays a campaign run directory's TELEMETRY
+// journal (the satcell-campaign flight recorder) into a span waterfall,
+// incident timeline and per-worker utilization; -telemetry-json emits
+// the machine-readable run summary instead. With -stream, -debug-addr
+// serves the live shard counters (/debug/vars, Prometheus
+// /debug/metrics, /debug/events, /debug/pprof/) while the scan runs.
+//
 //	drivegen -scale 0.1 -out data
 //	satcell-analyze -tests data/tests.csv
 //	satcell-analyze -stream data -workers 4
 //	satcell-analyze -fsck data
 //	satcell-analyze -events run.jsonl
+//	satcell-analyze -telemetry run
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 
+	"satcell/internal/campaign"
 	"satcell/internal/core"
 	"satcell/internal/dataset"
 	"satcell/internal/networks"
@@ -63,6 +73,9 @@ func main() {
 		stream    = flag.String("stream", "", "stream a dataset directory (drivegen -out) through the sharded figure pipeline and exit")
 		workers   = flag.Int("workers", 0, "worker goroutines for -stream; 0 = one per core (GOMAXPROCS), negative is rejected; figures are identical for any value")
 		eventsOut = flag.String("events-out", "", "with -stream: write the run's event trace (retries, quarantines) as JSONL to this file on shutdown, SIGINT included")
+		telemetry = flag.String("telemetry", "", "replay a campaign run directory's TELEMETRY journal as a flight report (waterfall, incidents, worker utilization) and exit")
+		telJSON   = flag.Bool("telemetry-json", false, "with -telemetry: emit the machine-readable run summary JSON instead")
+		debugAddr = flag.String("debug-addr", "", "with -stream: serve /debug/vars (live shard progress), /debug/metrics (Prometheus), /debug/events and /debug/pprof/ on this address")
 	)
 	flag.Parse()
 
@@ -74,6 +87,9 @@ func main() {
 		runEvents(*events)
 		return
 	}
+	if *telemetry != "" {
+		os.Exit(runTelemetry(*telemetry, *telJSON))
+	}
 
 	mode := store.Lenient
 	if *strict {
@@ -84,7 +100,7 @@ func main() {
 		if err != nil {
 			logger.Fatalf("stream: %v", err)
 		}
-		os.Exit(runStream(*stream, mode, w, *eventsOut))
+		os.Exit(runStream(*stream, mode, w, *eventsOut, *debugAddr))
 	}
 	rows, rep, err := store.LoadTests(*path, mode)
 	if err != nil {
@@ -216,12 +232,24 @@ func analyzedNetworks(rows []store.TestRow) []string {
 // 1 for a fatal error (including an interrupt). A SIGINT cancels the
 // supervisor's context — workers drain, nothing leaks — and the event
 // ring still flushes to -events-out.
-func runStream(dir string, mode store.Mode, workers int, eventsOut string) int {
+func runStream(dir string, mode store.Mode, workers int, eventsOut, debugAddr string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	reg := obs.NewRegistry()
 	events := obs.NewTracer(0)
+	if debugAddr != "" {
+		srv, err := obs.ServeDebug(debugAddr, reg, events, map[string]func() any{
+			"dir":     func() any { return dir },
+			"workers": func() any { return workers },
+		})
+		if err != nil {
+			logger.Errorf("debug endpoint: %v", err)
+			return 1
+		}
+		defer srv.Close()
+		logger.Infof("debug endpoint on http://%s/debug/vars", srv.Addr())
+	}
 	flushEvents := func() {
 		if eventsOut == "" {
 			return
@@ -282,6 +310,30 @@ func runStream(dir string, mode store.Mode, workers int, eventsOut string) int {
 		logger.Warnf("stream: partial analysis: %v", comp.Err())
 		return 3
 	}
+	return 0
+}
+
+// runTelemetry replays a campaign run directory's TELEMETRY journal —
+// the run's black box — into the flight report (or, with asJSON, the
+// machine-readable summary). Read-only: it works on finished, crashed
+// and still-running campaigns alike.
+func runTelemetry(dir string, asJSON bool) int {
+	meta, log, err := campaign.ReadTelemetry(nil, dir)
+	if err != nil {
+		logger.Errorf("telemetry: %v", err)
+		return 1
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(obs.Summarize(log)); err != nil {
+			logger.Errorf("telemetry: %v", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("campaign %s: seed %d, scale %g\n", dir, meta.Seed, meta.Scale)
+	fmt.Print(obs.RenderFlightReport(log))
 	return 0
 }
 

@@ -29,10 +29,19 @@
 // stage ("write-err:drive001*:x2", "write-stall:tests.csv:+500ms"; see
 // internal/faults); -events-out captures the supervisor's stage and
 // shard events as JSONL for satcell-analyze -events.
+//
+// Every run also keeps a black box: the TELEMETRY journal (span tree,
+// periodic metrics snapshots, post-mortem pointers), appended fsync-
+// durably beside CAMPAIGN. `satcell-campaign -out run -report` replays
+// it into a span waterfall, incident timeline and per-worker
+// utilization — across every resume of the run — and -report-json
+// emits the machine-readable summary. Stalls and quarantines leave
+// automatic post-mortems under run/postmortem/.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -64,12 +73,19 @@ func run() int {
 		scenario     = flag.String("scenario", "", "scenario spec, e.g. networks=RM,MOB;kinds=udp-down;seed=7;name=rural (overrides -networks)")
 		stallWindow  = flag.Duration("stall-window", 30*time.Second, "cancel a stage whose progress counters stop moving for this long")
 		stageRetries = flag.Int("stage-retries", 2, "retries per failed or stalled stage (negative = none)")
-		debugAddr    = flag.String("debug-addr", "", "serve /debug/vars (stage + shard progress) and /debug/pprof/ on this address")
+		sampleEvery  = flag.Duration("sample-interval", time.Second, "flight-recorder metrics sampling period for the TELEMETRY journal (negative disables)")
+		report       = flag.Bool("report", false, "replay the run directory's TELEMETRY journal as a flight report (waterfall, incidents, worker utilization) and exit")
+		reportJSON   = flag.Bool("report-json", false, "like -report but emit the machine-readable run summary JSON")
+		debugAddr    = flag.String("debug-addr", "", "serve /debug/vars (stage + shard progress), /debug/metrics (Prometheus), /debug/health (stage + watchdog age) and /debug/pprof/ on this address")
 		eventsOut    = flag.String("events-out", "", "write the run's event trace (stage transitions, retries, quarantines) as JSONL to this file on shutdown, SIGINT included")
 		ioFaults     = flag.String("iofaults", "", "comma-separated scripted disk-fault rules for fault drills, e.g. write-stall:drive001*:x2:+500ms")
 		ioFaultSeed  = flag.Int64("iofault-seed", 1, "seed of the -iofaults probability decisions")
 	)
 	flag.Parse()
+
+	if *report || *reportJSON {
+		return renderReport(*out, *reportJSON)
+	}
 
 	sc, err := scenarioFromFlags(*scenario, *netList)
 	if err != nil {
@@ -102,11 +118,13 @@ func run() int {
 	}
 	defer flushEvents()
 
+	status := &campaign.Status{}
 	if *debugAddr != "" {
-		srv, err := obs.ServeDebug(*debugAddr, reg, nil, map[string]func() any{
-			"seed":  func() any { return *seed },
-			"scale": func() any { return *scale },
-			"out":   func() any { return *out },
+		srv, err := obs.ServeDebug(*debugAddr, reg, events, map[string]func() any{
+			"seed":     func() any { return *seed },
+			"scale":    func() any { return *scale },
+			"out":      func() any { return *out },
+			"campaign": func() any { return status.Snapshot() },
 		})
 		if err != nil {
 			logger.Errorf("debug endpoint: %v", err)
@@ -136,6 +154,7 @@ func run() int {
 		Dir: *out, Seed: *seed, Scale: *scale, Scenario: sc,
 		Workers: *workers, Resume: *resume,
 		StallWindow: *stallWindow, StageRetries: *stageRetries,
+		SampleInterval: *sampleEvery, Status: status,
 		Metrics: reg, Events: events, FS: fsys,
 		Log: logger,
 	})
@@ -159,6 +178,30 @@ func run() int {
 		logger.Warnf("partial campaign: %v", res.Completeness.Err())
 		return code
 	}
+	return 0
+}
+
+// renderReport replays the run directory's TELEMETRY journal — the
+// run's black box — without touching the lock or the journals' write
+// paths, so it works on a finished run, a crashed one, or one still in
+// flight. asJSON selects the machine-readable summary.
+func renderReport(dir string, asJSON bool) int {
+	meta, log, err := campaign.ReadTelemetry(nil, dir)
+	if err != nil {
+		logger.Errorf("%v", err)
+		return 1
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(obs.Summarize(log)); err != nil {
+			logger.Errorf("%v", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("campaign %s: seed %d, scale %g\n", dir, meta.Seed, meta.Scale)
+	fmt.Print(obs.RenderFlightReport(log))
 	return 0
 }
 

@@ -43,6 +43,17 @@ var Stages = []Stage{StagePlan, StageGenerate, StageVerify, StageAnalyze, StageR
 // JournalName is the campaign's stage journal in the run directory.
 const JournalName = "CAMPAIGN"
 
+// TelemetryName is the flight recorder's journal in the run directory:
+// span records, sampler snapshots and post-mortem pointers, appended
+// through the same fsynced store journal as the stage log. It lives at
+// the run-dir root, outside data/ and figures/, so telemetry never
+// perturbs the byte-identical artifact digests.
+const TelemetryName = "TELEMETRY"
+
+// PostmortemDirName is the run-dir subdirectory that receives automatic
+// post-mortem captures, one <stage>-<attempt> directory per incident.
+const PostmortemDirName = "postmortem"
+
 // Tool tags the campaign journal's meta line.
 const Tool = "satcell-campaign"
 
@@ -82,6 +93,13 @@ type Config struct {
 	// Events, when non-nil, receives stage transitions (stage-start /
 	// stage-end / stage-stall) alongside the analyzer's shard events.
 	Events *obs.Tracer
+	// SampleInterval is the flight recorder's metrics sampling period:
+	// how often the registry snapshot is journalled into TELEMETRY
+	// (default 1s; negative disables the sampler).
+	SampleInterval time.Duration
+	// Status, when non-nil, is kept current with the running stage,
+	// attempt and watchdog last-progress time, for /debug/health.
+	Status *Status
 	// FS routes every disk operation (nil means the real filesystem);
 	// the chaos suite injects faults here.
 	FS store.FS

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"satcell/internal/core"
@@ -38,6 +39,21 @@ type runner struct {
 	figs    map[string]*core.Figure
 	result  *Result
 	start   time.Time
+
+	// rec is the flight recorder appending to the TELEMETRY journal
+	// (nil-safe: a run without telemetry records nothing); camp is its
+	// root span, span the currently executing attempt span.
+	rec  *obs.FlightRecorder
+	camp *obs.Span
+	span *obs.Span
+	// pmGuard bounds post-mortem captures to one per stage attempt; it
+	// is reset at each attempt start and raced by the watchdog and the
+	// analyzer's quarantine callback. curStage/curAttempt name the
+	// attempt now executing (written between attempts, read by callbacks
+	// the attempt spawned).
+	pmGuard    atomic.Bool
+	curStage   Stage
+	curAttempt int
 }
 
 // Run executes (or resumes) the campaign pipeline under supervision.
@@ -64,6 +80,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = time.Second
+	} else if cfg.SampleInterval < 0 {
+		cfg.SampleInterval = 0 // sampler disabled
 	}
 	if cfg.Metrics == nil {
 		// The watchdog reads counters; supervision must work unobserved.
@@ -92,6 +113,26 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	defer journal.Close()
 
+	// The TELEMETRY journal is the run's black box: span tree, sampler
+	// snapshots and post-mortem pointers. On resume it is replayed only
+	// to count prior process runs, so the report renderer can stitch
+	// every attempt into one timeline; the records themselves stay on
+	// disk untouched.
+	telemetry, telEntries, err := store.OpenJournal(cfg.FS, filepath.Join(cfg.Dir, TelemetryName), meta, cfg.Resume)
+	if err != nil {
+		return nil, err
+	}
+	defer telemetry.Close()
+	runNo := 1
+	for _, raw := range telEntries {
+		var t struct {
+			T string `json:"t"`
+		}
+		if json.Unmarshal(raw, &t) == nil && t.T == obs.RecRun {
+			runNo++
+		}
+	}
+
 	r := &runner{
 		cfg: cfg, workers: workers, journal: journal,
 		done:  make(map[Stage]*stageRecord),
@@ -111,10 +152,41 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		// earlier journal line.
 		r.done[rec.Stage] = &rec
 	}
+
+	r.rec = obs.NewFlightRecorder(telemetry, runNo)
+	sampler := obs.StartSampler(r.rec, cfg.Metrics, cfg.SampleInterval)
+	defer sampler.Stop()
+	r.camp = r.rec.Begin(obs.SpanCampaign, Tool)
+
 	if err := r.runPipeline(ctx); err != nil {
+		if ctx.Err() != nil {
+			r.camp.End(obs.SpanCancelled, ctx.Err().Error())
+		} else {
+			r.camp.End(obs.SpanFailed, err.Error())
+		}
 		return nil, err
 	}
+	r.camp.End(obs.SpanOK, r.result.Completeness.String())
 	return r.result, nil
+}
+
+// ReadTelemetry replays a run directory's TELEMETRY journal read-only
+// (torn tail dropped) into the flight log the report renderers consume.
+// meta is the journal's identity line; log covers every process run the
+// directory accumulated.
+func ReadTelemetry(fsys store.FS, dir string) (*store.JournalMeta, *obs.FlightLog, error) {
+	meta, entries, err := store.ReplayJournal(fsys, filepath.Join(dir, TelemetryName))
+	if err != nil {
+		return nil, nil, err
+	}
+	if meta == nil {
+		return nil, nil, fmt.Errorf("campaign: no %s journal in %s (not a campaign run directory?)", TelemetryName, dir)
+	}
+	log, err := obs.ReplayTelemetry(entries)
+	if err != nil {
+		return nil, nil, err
+	}
+	return meta, log, nil
 }
 
 // runPipeline walks the stages in order, skipping journalled ones and
@@ -183,21 +255,36 @@ func (r *runner) adopt(rec *stageRecord) {
 func (r *runner) runStage(ctx context.Context, idx int, st Stage) (*stageRecord, error) {
 	rec := &stageRecord{Stage: st}
 	maxAttempts := r.cfg.StageRetries + 1
+	stSpan := r.camp.Child(obs.SpanStage, string(st))
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		rec.Attempts = attempt
 		if err := ctx.Err(); err != nil {
+			stSpan.End(obs.SpanCancelled, err.Error())
 			return nil, err
 		}
 		if r.cfg.beforeStage != nil {
 			if err := r.cfg.beforeStage(st); err != nil {
+				stSpan.End(obs.SpanCancelled, err.Error())
 				return nil, err
 			}
 		}
+		r.cfg.Status.setStage(string(st), attempt)
+		r.curStage, r.curAttempt = st, attempt
+		r.pmGuard.Store(false)
+		r.span = stSpan.Child(obs.SpanAttempt, fmt.Sprintf("%s#%d", st, attempt))
 		stageCtx, cancel := context.WithCancel(ctx)
 		var dog *watchdog
 		if progress := r.progressFunc(st); progress != nil {
-			dog = startWatchdog(cancel, progress, r.cfg.StallWindow)
+			// The watchdog's trip path captures a post-mortem *before*
+			// cancelling: once the stage unwinds, the wedged goroutines and
+			// the counters they starved are gone.
+			attempt := attempt
+			trip := func() {
+				r.capturePostmortem(st, attempt, fmt.Sprintf("watchdog: no counter progress for %v", r.cfg.StallWindow))
+				cancel()
+			}
+			dog = startWatchdog(trip, progress, r.cfg.StallWindow, r.cfg.Status)
 		}
 		r.cfg.Log.Infof("stage %s: attempt %d/%d", st, attempt, maxAttempts)
 		r.cfg.Events.Span(time.Since(r.start), obs.EvStageStart, "campaign", string(st))
@@ -209,11 +296,19 @@ func (r *runner) runStage(ctx context.Context, idx int, st Stage) (*stageRecord,
 		cancel()
 		if err == nil {
 			r.cfg.Events.Span(time.Since(r.start), obs.EvStageEnd, "campaign", string(st))
+			r.span.End(obs.SpanOK, "")
+			if attempt > 1 {
+				stSpan.End(obs.SpanRetried, fmt.Sprintf("ok on attempt %d/%d", attempt, maxAttempts))
+			} else {
+				stSpan.End(obs.SpanOK, "")
+			}
 			return rec, nil
 		}
 		if ctx.Err() != nil {
 			// The run was cancelled from outside (SIGINT/SIGTERM): every
 			// completed stage is journalled, so exit instead of retrying.
+			r.span.End(obs.SpanCancelled, ctx.Err().Error())
+			stSpan.End(obs.SpanCancelled, ctx.Err().Error())
 			return nil, ctx.Err()
 		}
 		if stalled {
@@ -223,6 +318,9 @@ func (r *runner) runStage(ctx context.Context, idx int, st Stage) (*stageRecord,
 				fmt.Sprintf("%s attempt %d", st, attempt))
 			err = fmt.Errorf("campaign: stage %s stalled (no counter progress for %v): %w",
 				st, r.cfg.StallWindow, err)
+			r.span.End(obs.SpanStalled, err.Error())
+		} else {
+			r.span.End(obs.SpanFailed, err.Error())
 		}
 		lastErr = err
 		if attempt == maxAttempts {
@@ -233,10 +331,12 @@ func (r *runner) runStage(ctx context.Context, idx int, st Stage) (*stageRecord,
 		r.cfg.Log.Warnf("stage %s: attempt %d failed (%v), retrying in %v", st, attempt, err, delay)
 		select {
 		case <-ctx.Done():
+			stSpan.End(obs.SpanCancelled, ctx.Err().Error())
 			return nil, ctx.Err()
 		case <-time.After(delay):
 		}
 	}
+	stSpan.End(obs.SpanFailed, fmt.Sprintf("%d attempt(s) exhausted", maxAttempts))
 	return nil, fmt.Errorf("campaign: stage %s failed after %d attempt(s): %w", st, maxAttempts, lastErr)
 }
 
@@ -307,6 +407,7 @@ func (r *runner) execGenerate(ctx context.Context, rec *stageRecord) error {
 		Seed: r.cfg.Seed, Scale: r.cfg.Scale, Scenario: r.cfg.Scenario,
 		Workers: r.workers, Metrics: r.cfg.Metrics,
 		Degrade: true, BeforeUnit: r.cfg.beforeUnit,
+		Spans: r.span,
 	})
 	if err != nil {
 		return err
@@ -361,6 +462,12 @@ func (r *runner) analyze(ctx context.Context) (*core.StreamAnalysis, error) {
 		Workers: r.workers,
 		Metrics: r.cfg.Metrics,
 		Events:  r.cfg.Events,
+		Span:    r.span,
+		OnQuarantine: func(f core.ShardFailure) {
+			// A quarantined shard is data loss: capture the process state
+			// while the poison is still fresh (first incident per attempt).
+			r.capturePostmortem(r.curStage, r.curAttempt, fmt.Sprintf("shard quarantined: %s", f))
+		},
 	})
 }
 

@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// Status is the live health view of a supervised campaign, published on
+// /debug/health by the CLI: which stage is running, which attempt, and
+// how long ago the watchdog last saw counter progress — the number an
+// operator checks to distinguish "slow" from "wedged" before the
+// watchdog decides for them. Every method is nil-safe so the runner
+// updates it unconditionally.
+type Status struct {
+	mu           sync.Mutex
+	stage        string
+	attempt      int
+	lastProgress time.Time
+}
+
+// setStage records the stage/attempt now executing.
+func (s *Status) setStage(stage string, attempt int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stage, s.attempt = stage, attempt
+	// A new attempt starts its progress clock fresh; the previous
+	// attempt's age is history, not health.
+	s.lastProgress = time.Now()
+	s.mu.Unlock()
+}
+
+// noteProgress records that the watchdog observed the progress counters
+// move (called from the watchdog's poll loop).
+func (s *Status) noteProgress() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.lastProgress = time.Now()
+	s.mu.Unlock()
+}
+
+// Snapshot returns the health document: current stage ("idle" before
+// the pipeline and after it finishes), attempt number, and milliseconds
+// since the watchdog last saw progress (absent while no watchdog-
+// supervised stage is running).
+func (s *Status) Snapshot() map[string]any {
+	if s == nil {
+		return map[string]any{"stage": "idle"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]any{"stage": s.stage}
+	if s.stage == "" {
+		out["stage"] = "idle"
+	}
+	if s.attempt > 0 {
+		out["attempt"] = s.attempt
+	}
+	if !s.lastProgress.IsZero() {
+		out["last_progress_age_ms"] = time.Since(s.lastProgress).Milliseconds()
+	}
+	return out
+}

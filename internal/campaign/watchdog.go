@@ -18,10 +18,12 @@ type watchdog struct {
 }
 
 // startWatchdog polls progress every window/4 and calls cancel once the
-// reading has not moved for >= window. The caller must call stop() —
-// which also reports whether the dog fired — before inspecting the
-// stage's error.
-func startWatchdog(cancel func(), progress func() int64, window time.Duration) *watchdog {
+// reading has not moved for >= window (the caller wraps cancel when it
+// wants a post-mortem captured first). Each observed move is reported
+// to status, so /debug/health can publish the last-progress age the
+// watchdog is deciding on. The caller must call stop() — which also
+// reports whether the dog fired — before inspecting the stage's error.
+func startWatchdog(cancel func(), progress func() int64, window time.Duration, status *Status) *watchdog {
 	w := &watchdog{quit: make(chan struct{}), done: make(chan struct{})}
 	poll := window / 4
 	if poll < time.Millisecond {
@@ -40,6 +42,7 @@ func startWatchdog(cancel func(), progress func() int64, window time.Duration) *
 			case <-ticker.C:
 				if cur := progress(); cur != last {
 					last, lastMove = cur, time.Now()
+					status.noteProgress()
 					continue
 				}
 				if time.Since(lastMove) >= window {

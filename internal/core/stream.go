@@ -383,6 +383,16 @@ type StreamOptions struct {
 	// Events, when non-nil, records one shard-retry event per reload and
 	// one shard-quarantine event per dropped shard.
 	Events *obs.Tracer
+	// Span, when non-nil, is the flight-recorder parent under which the
+	// supervisor opens one child span per shard (worker-tagged, outcome
+	// ok/retried/quarantined/cancelled). Spans are per-shard, never
+	// per-record: the accumulate hot path stays untouched.
+	Span *obs.Span
+	// OnQuarantine, when non-nil, is called once per quarantined shard
+	// (lenient mode only), from the worker that dropped it — the
+	// campaign supervisor hooks its post-mortem capture here. It must
+	// not block for long: the worker holds no locks but its shard slot.
+	OnQuarantine func(ShardFailure)
 }
 
 const (
@@ -688,6 +698,7 @@ func StreamAnalyzeContext(ctx context.Context, src ShardSource, opts StreamOptio
 	merged := newPartial(cols)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		w := w
 		workerShards := opts.Metrics.Counter(fmt.Sprintf("stream.worker.%02d.shards", w))
 		wg.Add(1)
 		go func() {
@@ -696,9 +707,13 @@ func StreamAnalyzeContext(ctx context.Context, src ShardSource, opts StreamOptio
 				mu.Lock()
 				incumbent := merged.timeline
 				mu.Unlock()
+				// One flight-recorder span per shard, tagged with the worker
+				// that ran it so the report can chart pool utilization.
+				span := opts.Span.Child(obs.SpanShard, obs.WorkerPrefix(w)+ref.Label)
 				out := processShard(ctx, src, ref, info, cols, incumbent, &opts, onRetry)
 				if out.err != nil {
 					if ctx.Err() != nil {
+						span.End(obs.SpanCancelled, ctx.Err().Error())
 						return // run is aborting; not a shard verdict
 					}
 					mu.Lock()
@@ -710,6 +725,7 @@ func StreamAnalyzeContext(ctx context.Context, src ShardSource, opts StreamOptio
 							firstErr = fmt.Errorf("core: shard %s: %w", ref.Label, out.err)
 						}
 						mu.Unlock()
+						span.End(obs.SpanFailed, out.err.Error())
 						cancel()
 						return
 					}
@@ -718,14 +734,19 @@ func StreamAnalyzeContext(ctx context.Context, src ShardSource, opts StreamOptio
 						comp.RecoveredPanics++
 						panicsC.Inc()
 					}
-					comp.Quarantined = append(comp.Quarantined, ShardFailure{
+					failure := ShardFailure{
 						Index: ref.Index, Drive: ref.Drive, Shard: ref.Label,
 						Attempts: out.attempts, Class: out.class, Err: out.err.Error(),
-					})
+					}
+					comp.Quarantined = append(comp.Quarantined, failure)
 					mu.Unlock()
 					quarantinedC.Inc()
 					opts.Events.Span(time.Since(start), obs.EvShardQuarantine, "stream",
 						fmt.Sprintf("%s: %s: %v", ref.Label, out.class, out.err))
+					span.End(obs.SpanQuarantined, failure.String())
+					if opts.OnQuarantine != nil {
+						opts.OnQuarantine(failure)
+					}
 					settle(1)
 					continue
 				}
@@ -736,6 +757,11 @@ func StreamAnalyzeContext(ctx context.Context, src ShardSource, opts StreamOptio
 					comp.ShardsRetried++
 				}
 				mu.Unlock()
+				if out.attempts > 1 {
+					span.End(obs.SpanRetried, fmt.Sprintf("ok after %d attempts", out.attempts))
+				} else {
+					span.End(obs.SpanOK, "")
+				}
 				workerShards.Inc()
 				shardsDone.Inc()
 				rowsDone.Add(int64(out.rows))

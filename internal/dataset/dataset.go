@@ -245,6 +245,12 @@ type Config struct {
 	// Instrumentation never feeds back into generation: the campaign
 	// stays bit-identical with or without it.
 	Metrics *obs.Registry
+	// Spans, when non-nil, is the flight-recorder parent under which
+	// generation opens one child span per (drive, network) sampling unit
+	// (worker-tagged, outcome ok/retried/quarantined/cancelled). Unit
+	// granularity keeps the per-sample loop span-free, and — like
+	// Metrics — spans observe generation without feeding back into it.
+	Spans *obs.Span
 
 	// Degrade turns on degrade-don't-abort generation: every (drive,
 	// network) sampling unit runs behind a recover fence, transient
@@ -512,12 +518,17 @@ func executeDrives(ctx context.Context, plans []drivePlan, nets []channel.Networ
 		backoff = 5 * time.Millisecond
 	}
 
-	forEachIndex(workers, len(plans)*len(nets), func(k int) {
+	forEachIndexWorker(workers, len(plans)*len(nets), func(w, k int) {
 		di, ni := k/len(nets), k%len(nets)
 		if ctx.Err() != nil {
 			return
 		}
 		n := nets[ni]
+		// One flight-recorder span per sampling unit, worker-tagged so the
+		// report can chart generation-pool utilization. The slot id feeds
+		// only the span label, never the sampled bytes.
+		span := cfg.Spans.Child(obs.SpanUnit,
+			obs.WorkerPrefix(w)+fmt.Sprintf("drive%03d:%s", di, n))
 		runUnit := func() error {
 			if cfg.BeforeUnit != nil {
 				if err := cfg.BeforeUnit(di, n); err != nil {
@@ -541,21 +552,29 @@ func executeDrives(ctx context.Context, plans []drivePlan, nets []channel.Networ
 				// there is nowhere to degrade to, so fail loudly.
 				panic(err)
 			}
+			span.End(obs.SpanOK, "")
 			unitsDone.Inc()
 			return
 		}
 		if isQuarantined(di) {
+			span.End(obs.SpanQuarantined, "drive already quarantined")
 			unitsDone.Inc()
 			return
 		}
 		for attempt := 1; ; attempt++ {
 			err := runFenced(runUnit)
 			if err == nil {
+				if attempt > 1 {
+					span.End(obs.SpanRetried, fmt.Sprintf("ok after %d attempts", attempt))
+				} else {
+					span.End(obs.SpanOK, "")
+				}
 				break
 			}
 			if ctx.Err() != nil {
 				// Cancellation mid-unit is the run stopping, not the drive
 				// failing: leave no quarantine record behind.
+				span.End(obs.SpanCancelled, ctx.Err().Error())
 				return
 			}
 			var pe *unitPanic
@@ -564,6 +583,7 @@ func executeDrives(ctx context.Context, plans []drivePlan, nets []channel.Networ
 					Drive: di, Route: plans[di].route.Name, Network: n,
 					Attempts: attempt, Class: FailPanic, Err: err.Error(),
 				})
+				span.End(obs.SpanQuarantined, err.Error())
 				break
 			}
 			if attempt > maxRetries {
@@ -571,11 +591,13 @@ func executeDrives(ctx context.Context, plans []drivePlan, nets []channel.Networ
 					Drive: di, Route: plans[di].route.Name, Network: n,
 					Attempts: attempt, Class: FailTransient, Err: err.Error(),
 				})
+				span.End(obs.SpanQuarantined, err.Error())
 				break
 			}
 			unitRetries.Inc()
 			select {
 			case <-ctx.Done():
+				span.End(obs.SpanCancelled, ctx.Err().Error())
 				return
 			case <-time.After(faults.BackoffDelay(backoff, k, attempt)):
 			}

@@ -343,3 +343,53 @@ func BenchmarkRelayObsAccounting(b *testing.B) {
 		})
 	}
 }
+
+// discardSink satisfies obs.TelemetrySink without I/O, isolating span
+// bookkeeping cost from journal fsyncs.
+type discardSink struct{}
+
+func (discardSink) Append(any) error { return nil }
+
+// BenchmarkSpanStage proves the flight recorder's granularity contract:
+// spans bracket stages, never packets, so the per-packet relay path with
+// a recorder attached and a stage span open costs exactly what the bare
+// path costs — and allocates nothing. Compare the bare and span variants'
+// ns/op and allocs/op; they must be indistinguishable.
+func BenchmarkSpanStage(b *testing.B) {
+	for _, mode := range []string{"bare", "span"} {
+		b.Run(mode, func(b *testing.B) {
+			o := newRelayObs("relay.udp", obs.NewRegistry(), obs.NewTracer(8192))
+			var span *obs.Span
+			if mode == "span" {
+				rec := obs.NewFlightRecorder(discardSink{}, 1)
+				span = rec.Begin(obs.SpanStage, "relay-drill")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := time.Duration(i)
+				o.in(e, "up", 1400)
+				o.delivered(e, "up", 1400)
+			}
+			span.End(obs.SpanOK, "")
+		})
+	}
+}
+
+// TestRelayPacketPathZeroAllocUnderSpan is the allocation guard behind
+// BenchmarkSpanStage: with a flight recorder running and a stage span
+// open, the per-packet accounting path must stay allocation-free.
+func TestRelayPacketPathZeroAllocUnderSpan(t *testing.T) {
+	rec := obs.NewFlightRecorder(discardSink{}, 1)
+	span := rec.Begin(obs.SpanStage, "relay-drill")
+	defer span.End(obs.SpanOK, "")
+	o := newRelayObs("relay.udp", obs.NewRegistry(), obs.NewTracer(8192))
+	var e time.Duration
+	allocs := testing.AllocsPerRun(2000, func() {
+		o.in(e, "up", 1400)
+		o.delivered(e, "up", 1400)
+		e += time.Microsecond
+	})
+	if allocs != 0 {
+		t.Fatalf("per-packet path allocates %.1f/op with a span open, want 0", allocs)
+	}
+}

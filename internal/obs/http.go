@@ -12,10 +12,11 @@ import (
 // DebugServer is the runtime introspection endpoint (-debug-addr on
 // mpshell and drivegen). It serves:
 //
-//	/debug/vars    expvar-style JSON snapshot of the metrics registry
-//	/debug/events  the event ring as JSONL (the -events export format)
-//	/debug/health  component-provided health/status values as JSON
-//	/debug/pprof/  the standard net/http/pprof profile family
+//	/debug/vars     expvar-style JSON snapshot of the metrics registry
+//	/debug/metrics  the same snapshot in Prometheus text exposition format
+//	/debug/events   the event ring as JSONL (the -events export format)
+//	/debug/health   component-provided health/status values as JSON
+//	/debug/pprof/   the standard net/http/pprof profile family
 //
 // Everything is read-only; hitting the endpoint observes the process
 // without perturbing the emulation clock.
@@ -37,6 +38,10 @@ func ServeDebug(addr string, reg *Registry, tr *Tracer, health map[string]func()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition of the metrics registry, so the
+// /debug endpoint can be scraped by stock collectors. The registry's
+// dotted metric names ("dataset.worker.03.tests") are sanitized to the
+// Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*; when sanitizing changed
+// the name, the original is preserved as a `name` label so nothing is
+// lost in the round-trip (and label escaping gets exercised on real
+// names, not just in tests).
+
+// promName sanitizes a registry metric name to the Prometheus grammar.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func promEscape(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set in sorted-key order, "" when empty.
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, k, promEscape(labels[k])))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promFloat formats a sample value; Prometheus accepts Go's shortest
+// round-trip float form, and +Inf spells the unbounded bucket.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters as `counter`, gauges and
+// sampled funcs as `gauge`, histograms as `histogram` with cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`. Metric families
+// are emitted in sorted registry-name order so output is stable for
+// golden tests and diffable between scrapes. Nil registries write
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		labels := map[string]string{}
+		if pn != name {
+			labels["name"] = name
+		}
+		var err error
+		switch v := snap[name].(type) {
+		case int64:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n",
+				pn, pn, promLabels(labels), v)
+		case float64:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n",
+				pn, pn, promLabels(labels), promFloat(v))
+		case HistogramSnapshot:
+			err = writePromHistogram(w, pn, labels, v)
+		default:
+			err = fmt.Errorf("obs: prometheus: %s has unexposable type %T", name, v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram family: cumulative buckets
+// (the registry stores per-bucket counts), the implicit +Inf bucket,
+// then sum and count.
+func writePromHistogram(w io.Writer, pn string, labels map[string]string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		bl := map[string]string{"le": promFloat(bound)}
+		for k, v := range labels {
+			bl[k] = v
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, promLabels(bl), cum); err != nil {
+			return err
+		}
+	}
+	bl := map[string]string{"le": "+Inf"}
+	for k, v := range labels {
+		bl[k] = v
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, promLabels(bl), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", pn, promLabels(labels), promFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", pn, promLabels(labels), h.Count)
+	return err
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPromExpositionGolden locks the exact exposition bytes: family
+// ordering, type lines, cumulative histogram buckets, the `name` label
+// round-trip for sanitized dotted names, and label-value escaping.
+func TestPromExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campaign.shards_written").Add(7)
+	h := r.Histogram("lat.ms", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(100)
+	r.RegisterFunc("queue_depth", func() float64 { return 4 })
+	r.Gauge("speed").Set(1.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE campaign_shards_written counter
+campaign_shards_written{name="campaign.shards_written"} 7
+# TYPE lat_ms histogram
+lat_ms_bucket{le="1",name="lat.ms"} 1
+lat_ms_bucket{le="5",name="lat.ms"} 2
+lat_ms_bucket{le="+Inf",name="lat.ms"} 3
+lat_ms_sum{name="lat.ms"} 103.5
+lat_ms_count{name="lat.ms"} 3
+# TYPE queue_depth gauge
+queue_depth 4
+# TYPE speed gauge
+speed 1.5
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	// A registry name with every character the exposition format escapes:
+	// backslash, double quote and newline. The sanitized metric name
+	// replaces them all with '_'; the original survives — escaped — in
+	// the name label.
+	r := NewRegistry()
+	r.Counter("weird\"metric\\with\nnewline").Add(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE weird_metric_with_newline counter\n") {
+		t.Fatalf("metric name not sanitized:\n%s", out)
+	}
+	if !strings.Contains(out, `weird_metric_with_newline{name="weird\"metric\\with\nnewline"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	// The exposition body itself must stay line-structured: no raw
+	// newline may leak out of a label value.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("empty line leaked into exposition:\n%q", out)
+		}
+	}
+}
+
+func TestPromNameSanitizing(t *testing.T) {
+	cases := map[string]string{
+		"relay.udp.up.in_pkts": "relay_udp_up_in_pkts",
+		"9starts_with_digit":   "_starts_with_digit",
+		"ok:name_1":            "ok:name_1",
+		"":                     "_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}
+
+// TestPromDebugMetricsEndpoint scrapes /debug/metrics the way a
+// collector would and checks the content type and exposition body.
+func TestPromDebugMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(2)
+	srv, err := ServeDebug("127.0.0.1:0", reg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q, want the 0.0.4 exposition type", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "# TYPE hits counter\nhits 2\n"; string(b) != want {
+		t.Fatalf("scrape = %q, want %q", b, want)
+	}
+}

@@ -1,9 +1,10 @@
 package store
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -19,14 +20,27 @@ type JournalMeta struct {
 }
 
 // Journal is the crash-only append-only journal primitive behind the
-// export CHECKPOINT and the campaign supervisor's stage log: one JSON
-// object per line, each append fsynced before it is acknowledged, so
-// after a `kill -9` the file names exactly the work that was durably
-// completed. The first line is the JournalMeta; a torn final line (the
-// crash landed mid-append) is ignored on replay — everything journalled
-// after it cannot have been acknowledged.
+// export CHECKPOINT, the campaign supervisor's stage log and the
+// flight recorder's TELEMETRY stream: one JSON object per line, each
+// append fsynced before it is acknowledged, so after a `kill -9` the
+// file names exactly the work that was durably completed. The first
+// line is the JournalMeta; a torn final line (the crash landed
+// mid-append) is dropped on replay — everything journalled after it
+// cannot have been acknowledged — and the file is healed back to its
+// valid prefix before a resume appends again, so the new records never
+// glue onto the torn fragment.
 type Journal struct {
 	f File
+}
+
+// journalReplay is one parsed journal: the meta line, the surviving
+// entries, the newline-terminated byte prefix they came from, and
+// whether the file extends past that prefix (a torn tail).
+type journalReplay struct {
+	meta    *JournalMeta
+	entries []json.RawMessage
+	valid   []byte
+	torn    bool
 }
 
 // OpenJournal opens path's journal through fsys (nil means the real
@@ -35,26 +49,38 @@ type Journal struct {
 // OpenJournal returns). With resume=true an existing journal is
 // replayed: its meta line must match meta, the surviving entries are
 // returned as raw JSON for the caller to decode, and subsequent appends
-// extend the same file.
+// extend the same file. If the previous process died mid-append, the
+// torn tail is first healed away with an atomic rewrite of the valid
+// prefix — appending through O_APPEND directly would concatenate the
+// next record onto the partial line, making both invisible to every
+// later replay.
 func OpenJournal(fsys FS, path string, meta JournalMeta, resume bool) (*Journal, []json.RawMessage, error) {
 	fsys = orOS(fsys)
 	if resume {
-		prevMeta, entries, err := replayJournal(fsys, path)
+		rep, err := replayJournal(fsys, path)
 		if err != nil {
 			return nil, nil, err
 		}
-		if prevMeta != nil {
-			if *prevMeta != meta {
+		if rep.meta != nil {
+			if *rep.meta != meta {
 				return nil, nil, fmt.Errorf(
 					"store: resume mismatch: %s was written by tool=%s seed=%d scale=%g, asked to resume tool=%s seed=%d scale=%g",
-					filepath.Base(path), prevMeta.Tool, prevMeta.Seed, prevMeta.Scale,
+					filepath.Base(path), rep.meta.Tool, rep.meta.Seed, rep.meta.Scale,
 					meta.Tool, meta.Seed, meta.Scale)
+			}
+			if rep.torn {
+				if err := WriteFileAtomicFS(fsys, path, func(w io.Writer) error {
+					_, werr := w.Write(rep.valid)
+					return werr
+				}); err != nil {
+					return nil, nil, fmt.Errorf("store: heal torn tail of %s: %w", filepath.Base(path), err)
+				}
 			}
 			f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return nil, nil, err
 			}
-			return &Journal{f: f}, entries, nil
+			return &Journal{f: f}, rep.entries, nil
 		}
 	}
 	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -69,42 +95,75 @@ func OpenJournal(fsys FS, path string, meta JournalMeta, resume bool) (*Journal,
 	return j, nil, nil
 }
 
-// replayJournal reads a journal's meta line and surviving entries; a
-// missing or empty file (crashed before the meta line landed) returns
-// (nil, nil, nil) so the caller starts fresh.
-func replayJournal(fsys FS, path string) (*JournalMeta, []json.RawMessage, error) {
-	f, err := fsys.Open(path)
-	if os.IsNotExist(err) {
-		return nil, nil, nil
-	}
+// ReplayJournal reads a journal without opening it for append: the meta
+// line (nil if the file is missing or died before the meta line landed)
+// and the surviving entries, torn tail dropped. This is the read-only
+// view report renderers use on a run directory that may still be owned
+// by a live campaign.
+func ReplayJournal(fsys FS, path string) (*JournalMeta, []json.RawMessage, error) {
+	rep, err := replayJournal(orOS(fsys), path)
 	if err != nil {
 		return nil, nil, err
 	}
+	return rep.meta, rep.entries, nil
+}
+
+// replayJournal reads a journal's meta line and surviving entries while
+// tracking the exact byte prefix they occupy, so a resume can heal a
+// torn tail. Only a '\n'-terminated line counts as journalled: Append
+// writes record+newline in one write, so a line without its newline is
+// a torn append regardless of whether its bytes happen to parse. A
+// missing or empty file — or one that died inside the meta line —
+// replays as meta==nil and the caller starts fresh.
+func replayJournal(fsys FS, path string) (*journalReplay, error) {
+	f, err := fsys.Open(path)
+	if os.IsNotExist(err) {
+		return &journalReplay{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
 	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
 	name := filepath.Base(path)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	if !sc.Scan() {
-		return nil, nil, sc.Err()
-	}
-	var meta JournalMeta
-	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
-		return nil, nil, fmt.Errorf("store: parse %s meta: %w", name, err)
-	}
-	if meta.Schema < 1 || meta.Schema > SchemaVersion {
-		return nil, nil, fmt.Errorf("store: %s schema %d not supported (this build reads <= %d)",
-			name, meta.Schema, SchemaVersion)
-	}
-	var entries []json.RawMessage
-	for sc.Scan() {
-		if !json.Valid(sc.Bytes()) {
-			// A torn final line is the expected crash artifact; anything
-			// journalled after it cannot exist, so stop replaying here.
+	rep := &journalReplay{}
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			rep.torn = true
 			break
 		}
-		entries = append(entries, json.RawMessage(append([]byte(nil), sc.Bytes()...)))
+		line := data[off : off+nl]
+		if rep.meta == nil {
+			var meta JournalMeta
+			if err := json.Unmarshal(line, &meta); err != nil {
+				return nil, fmt.Errorf("store: parse %s meta: %w", name, err)
+			}
+			if meta.Schema < 1 || meta.Schema > SchemaVersion {
+				return nil, fmt.Errorf("store: %s schema %d not supported (this build reads <= %d)",
+					name, meta.Schema, SchemaVersion)
+			}
+			rep.meta = &meta
+		} else {
+			if !json.Valid(line) {
+				// A torn or corrupt line: nothing after it can have been
+				// acknowledged, so stop replaying here.
+				rep.torn = true
+				break
+			}
+			rep.entries = append(rep.entries, json.RawMessage(append([]byte(nil), line...)))
+		}
+		off += nl + 1
 	}
-	return &meta, entries, sc.Err()
+	if off < len(data) {
+		rep.torn = true
+	}
+	rep.valid = data[:off]
+	return rep, nil
 }
 
 // Append journals v durably: marshal, write one line, fsync. The entry
