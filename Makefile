@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race chaos chaos-stream chaos-campaign flight-drill bench bench-json fsck-suite obs-suite scenario-suite streaming-suite
+.PHONY: check build vet fmt test race chaos chaos-stream chaos-campaign flight-drill bench bench-json fsck-suite obs-suite scenario-suite streaming-suite vtime-suite
 
 check: build vet fmt test race
 
@@ -125,6 +125,19 @@ streaming-suite:
 	$(GO) test -race -v -count=1 -run 'Sketch|Moments|Histogram' ./internal/stats/
 	$(GO) test -race -v -count=1 -run 'Shard|Scan' ./internal/store/
 	$(GO) test -race -v -count=1 -timeout 30m -run 'Stream|Fig9Columns' ./internal/core/
+
+# The vtime suite gates the virtual-time stack under the race detector:
+# the vclock scheduler/SimClock semantics (quiesce accounting, timer
+# cancellation generations, tie-break determinism), the promoted emu
+# event heap's edge cases, the supervisor's exact-instant event-mode
+# fault windows, the pacer's exact virtual shaping, and the paired-run
+# vsession determinism tests (-count=2 replays every session twice in
+# one process on top of each test's own repeat-run assertions).
+vtime-suite:
+	$(GO) test -race -v -count=2 ./internal/vclock/ ./internal/vsession/
+	$(GO) test -race -v -count=1 -run 'Engine|SupervisorVirtual|SimClock' ./internal/emu/ ./internal/faults/
+	$(GO) test -race -v -count=1 -run 'PacerShapesExactly|PacerDroptailExact' ./internal/netem/
+	$(GO) test -race -v -count=1 -run 'CampaignVSession' ./internal/campaign/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -56,10 +56,13 @@ func main() {
 		fseed     = flag.Int64("faultseed", 1, "fault schedule seed (replays bit-identically)")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/events, /debug/pprof/ and /debug/health on this address")
 		eventsOut = flag.String("events-out", "", "write the event trace as JSONL to this file on shutdown")
+		vtime     = flag.Bool("vtime", false, "run the shaped session in virtual time on the sim stack (no sockets): per-second CSV on stdout, deterministic per seed")
+		vtimeDur  = flag.Duration("vtime-duration", 30*time.Second, "virtual session length (with -vtime)")
+		vtimeTr2  = flag.String("vtime-trace2", "", "second-path trace CSV: runs an MPTCP replay across both paths (with -vtime)")
 	)
 	flag.Parse()
 	logger := obs.NewLogger("mpshell")
-	if *target == "" {
+	if *target == "" && !*vtime {
 		logger.Fatalf("-target is required")
 	}
 
@@ -70,12 +73,14 @@ func main() {
 	events := obs.NewTracer(0)
 
 	var gate *faults.Injector
+	var fsched *faults.Schedule
 	var schedDigest string
 	if *faultsF != "" {
 		sched, err := faults.ParseSpec(*faultsF, *fseed)
 		if err != nil {
 			logger.Fatalf("%v", err)
 		}
+		fsched = &sched
 		gate = faults.NewInjector(sched)
 		gate.Instrument(reg, events)
 		schedDigest = sched.Digest()[:12]
@@ -100,6 +105,11 @@ func main() {
 	} else {
 		down = netem.ConstantShape(*rate, *delay, *loss)
 		up = netem.ConstantShape(*rate, *delay, *loss)
+	}
+
+	if *vtime {
+		runVirtual(logger, down, up, fsched, *seed, *vtimeDur, *vtimeTr2)
+		return
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

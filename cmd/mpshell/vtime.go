@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"satcell/internal/channel"
+	"satcell/internal/faults"
+	"satcell/internal/netem"
+	"satcell/internal/obs"
+	"satcell/internal/trace"
+	"satcell/internal/vsession"
+)
+
+// runVirtual executes the shaped session in virtual time instead of
+// relaying sockets: the same shape/fault flags drive the sim-stack
+// driver, the per-second series goes to stdout as CSV, and the summary
+// line carries the session digest. Repeating the command replays the
+// session bit-identically, however loaded the host is.
+func runVirtual(logger *obs.Logger, down, up netem.Shape, sched *faults.Schedule,
+	seed int64, duration time.Duration, trace2 string) {
+	cfg := vsession.Config{
+		Paths: []vsession.PathSpec{{
+			Name:   "primary",
+			Down:   down,
+			Up:     up,
+			Faults: sched,
+		}},
+		Duration: duration,
+		Seed:     seed,
+	}
+	if trace2 != "" {
+		tr2, err := readTrace(trace2)
+		if err != nil {
+			logger.Fatalf("second trace: %v", err)
+		}
+		cfg.Paths = append(cfg.Paths, vsession.PathSpec{
+			Name: "secondary",
+			Down: netem.FromTrace(tr2, false),
+			Up:   netem.FromTrace(tr2, true),
+		})
+		logger.Infof("MPTCP replay: secondary path from %s (%d samples)", trace2, len(tr2.Samples))
+	}
+
+	start := time.Now()
+	res, err := vsession.Run(cfg)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	fmt.Print(res.CSV())
+	logger.Infof("%s (wall %s)", res.Summary(), time.Since(start).Round(time.Millisecond))
+}
+
+// readTrace loads a satcell channel trace CSV.
+func readTrace(path string) (*channel.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadCSV(f)
+}

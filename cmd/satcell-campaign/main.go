@@ -52,8 +52,10 @@ import (
 	"satcell"
 	"satcell/internal/campaign"
 	"satcell/internal/faults"
+	"satcell/internal/netem"
 	"satcell/internal/obs"
 	"satcell/internal/store"
+	"satcell/internal/vsession"
 )
 
 var logger = obs.NewLogger("satcell-campaign")
@@ -80,6 +82,12 @@ func run() int {
 		eventsOut    = flag.String("events-out", "", "write the run's event trace (stage transitions, retries, quarantines) as JSONL to this file on shutdown, SIGINT included")
 		ioFaults     = flag.String("iofaults", "", "comma-separated scripted disk-fault rules for fault drills, e.g. write-stall:drive001*:x2:+500ms")
 		ioFaultSeed  = flag.Int64("iofault-seed", 1, "seed of the -iofaults probability decisions")
+		vsess        = flag.Bool("vsession", false, "append the vsession stage: replay a deterministic virtual transport session into figures/vsession.csv")
+		vsessRate    = flag.Float64("vsession-rate", 20, "virtual session link capacity in Mbps")
+		vsessDelay   = flag.Duration("vsession-delay", 25*time.Millisecond, "virtual session one-way delay")
+		vsessLoss    = flag.Float64("vsession-loss", 0.001, "virtual session datagram loss probability")
+		vsessDur     = flag.Duration("vsession-duration", 30*time.Second, "virtual session length (virtual time)")
+		vsessFaults  = flag.String("vsession-faults", "", "fault spec applied to the virtual session's path (faults.ParseSpec grammar)")
 	)
 	flag.Parse()
 
@@ -147,6 +155,28 @@ func run() int {
 		defer func() { logger.Infof("fault stats: %v", ffs.Stats()) }()
 	}
 
+	// The vsession knob replays a deterministic virtual transport
+	// session (sim stack, virtual time) after render; its seed follows
+	// the campaign's effective seed so the whole run replays from one
+	// number.
+	var vcfg *vsession.Config
+	if *vsess {
+		spec := vsession.PathSpec{
+			Name: "primary",
+			Down: netem.ConstantShape(*vsessRate, *vsessDelay, *vsessLoss),
+			Up:   netem.ConstantShape(*vsessRate, *vsessDelay, *vsessLoss),
+		}
+		if *vsessFaults != "" {
+			fs, err := faults.ParseSpec(*vsessFaults, *seed)
+			if err != nil {
+				logger.Errorf("vsession-faults: %v", err)
+				return 1
+			}
+			spec.Faults = &fs
+		}
+		vcfg = &vsession.Config{Paths: []vsession.PathSpec{spec}, Duration: *vsessDur}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -156,7 +186,7 @@ func run() int {
 		StallWindow: *stallWindow, StageRetries: *stageRetries,
 		SampleInterval: *sampleEvery, Status: status,
 		Metrics: reg, Events: events, FS: fsys,
-		Log: logger,
+		Log: logger, VSession: vcfg,
 	})
 	if err != nil {
 		if ctx.Err() != nil {

@@ -21,6 +21,8 @@ import (
 	"satcell/internal/dataset"
 	"satcell/internal/obs"
 	"satcell/internal/store"
+	"satcell/internal/vclock"
+	"satcell/internal/vsession"
 )
 
 // Stage names one step of the campaign pipeline.
@@ -35,9 +37,16 @@ const (
 	StageVerify   Stage = "verify"
 	StageAnalyze  Stage = "analyze"
 	StageRender   Stage = "render"
+	// StageVSession is the optional virtual-session stage: it runs only
+	// when Config.VSession is set, after render, and replays a
+	// deterministic emulated transport session whose per-second CSV
+	// lands next to the figures.
+	StageVSession Stage = "vsession"
 )
 
-// Stages is the pipeline in execution order.
+// Stages is the unconditional pipeline in execution order; the
+// vsession stage is appended per run when configured, so this list
+// stays the stable contract for journal replay of ordinary runs.
 var Stages = []Stage{StagePlan, StageGenerate, StageVerify, StageAnalyze, StageRender}
 
 // JournalName is the campaign's stage journal in the run directory.
@@ -105,6 +114,15 @@ type Config struct {
 	FS store.FS
 	// Log, when non-nil, narrates stage transitions and retries.
 	Log *obs.Logger
+	// Clock drives the elapsed-time spans, retry backoff waits, stall
+	// watchdog and telemetry sampler. Nil means the wall clock.
+	Clock vclock.Clock
+	// VSession, when non-nil, appends the vsession stage: a virtual
+	// emulated transport session (see internal/vsession) whose
+	// per-second series is written to figures/vsession.csv and whose
+	// digest is journalled. A zero VSession.Seed inherits the
+	// campaign's effective seed.
+	VSession *vsession.Config
 
 	// Test seams, mirroring ExportOptions.BeforeFile: they run before
 	// each stage attempt / generation unit / shard write, and the chaos
@@ -176,6 +194,10 @@ type Result struct {
 	Written, Reused int
 	// Stalls and Retries total the supervisor's interventions.
 	Stalls, Retries int
+	// VDigest is the vsession stage's series digest ("" when the stage
+	// did not run): two runs replayed the same virtual session iff
+	// their digests match.
+	VDigest string
 }
 
 // ExitCode maps the run to the satcell-analyze -stream convention:

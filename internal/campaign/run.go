@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
@@ -14,6 +15,8 @@ import (
 	"satcell/internal/faults"
 	"satcell/internal/obs"
 	"satcell/internal/store"
+	"satcell/internal/vclock"
+	"satcell/internal/vsession"
 )
 
 // stageRecord is one journal line: a stage that completed durably,
@@ -28,6 +31,8 @@ type stageRecord struct {
 	Reused      int                    `json:"reused,omitempty"`
 	// Analyze-stage payload.
 	Completeness *core.Completeness `json:"completeness,omitempty"`
+	// VSession-stage payload: the per-second series digest.
+	VDigest string `json:"vdigest,omitempty"`
 }
 
 // runner is the in-flight state of one supervised run.
@@ -35,9 +40,11 @@ type runner struct {
 	cfg     Config
 	workers int
 	journal *store.Journal
+	stages  []Stage
 	done    map[Stage]*stageRecord
 	figs    map[string]*core.Figure
 	result  *Result
+	clk     vclock.Clock
 	start   time.Time
 
 	// rec is the flight recorder appending to the TELEMETRY journal
@@ -133,10 +140,21 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// The stage list is per run: the vsession stage joins the pipeline
+	// only when configured, so ordinary runs keep the stable Stages
+	// contract.
+	stages := Stages
+	if cfg.VSession != nil {
+		stages = append(append([]Stage{}, Stages...), StageVSession)
+	}
+
+	clk := vclock.Or(cfg.Clock)
 	r := &runner{
 		cfg: cfg, workers: workers, journal: journal,
-		done:  make(map[Stage]*stageRecord),
-		start: time.Now(),
+		stages: stages,
+		done:   make(map[Stage]*stageRecord),
+		clk:    clk,
+		start:  clk.Now(),
 		result: &Result{
 			Dir:        cfg.Dir,
 			DataDir:    filepath.Join(cfg.Dir, "data"),
@@ -153,8 +171,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		r.done[rec.Stage] = &rec
 	}
 
-	r.rec = obs.NewFlightRecorder(telemetry, runNo)
-	sampler := obs.StartSampler(r.rec, cfg.Metrics, cfg.SampleInterval)
+	r.rec = obs.NewFlightRecorderClock(telemetry, runNo, clk)
+	sampler := obs.StartSamplerClock(r.rec, cfg.Metrics, cfg.SampleInterval, clk)
 	defer sampler.Stop()
 	r.camp = r.rec.Begin(obs.SpanCampaign, Tool)
 
@@ -194,8 +212,8 @@ func ReadTelemetry(fsys store.FS, dir string) (*store.JournalMeta, *obs.FlightLo
 // path regenerates exactly the corrupt shards).
 func (r *runner) runPipeline(ctx context.Context) error {
 	heals := 0
-	for i := 0; i < len(Stages); i++ {
-		st := Stages[i]
+	for i := 0; i < len(r.stages); i++ {
+		st := r.stages[i]
 		if rec, ok := r.done[st]; ok {
 			r.adopt(rec)
 			r.cfg.Log.Infof("stage %s: journalled as complete, skipping", st)
@@ -214,7 +232,7 @@ func (r *runner) runPipeline(ctx context.Context) error {
 				r.cfg.Log.Warnf("stage %s: %v; re-entering %s to heal (%d/%d)",
 					st, err, StageGenerate, heals, r.cfg.StageRetries+1)
 				delete(r.done, StageGenerate)
-				for j, s := range Stages {
+				for j, s := range r.stages {
 					if s == StageGenerate {
 						i = j - 1
 						break
@@ -246,6 +264,8 @@ func (r *runner) adopt(rec *stageRecord) {
 		r.result.Written, r.result.Reused = rec.Written, rec.Reused
 	case StageAnalyze:
 		r.result.Completeness.Stream = rec.Completeness
+	case StageVSession:
+		r.result.VDigest = rec.VDigest
 	}
 }
 
@@ -284,10 +304,10 @@ func (r *runner) runStage(ctx context.Context, idx int, st Stage) (*stageRecord,
 				r.capturePostmortem(st, attempt, fmt.Sprintf("watchdog: no counter progress for %v", r.cfg.StallWindow))
 				cancel()
 			}
-			dog = startWatchdog(trip, progress, r.cfg.StallWindow, r.cfg.Status)
+			dog = startWatchdog(trip, progress, r.cfg.StallWindow, r.cfg.Status, r.clk)
 		}
 		r.cfg.Log.Infof("stage %s: attempt %d/%d", st, attempt, maxAttempts)
-		r.cfg.Events.Span(time.Since(r.start), obs.EvStageStart, "campaign", string(st))
+		r.cfg.Events.Span(r.clk.Since(r.start), obs.EvStageStart, "campaign", string(st))
 		err := r.execStage(stageCtx, st, rec)
 		stalled := false
 		if dog != nil {
@@ -295,7 +315,7 @@ func (r *runner) runStage(ctx context.Context, idx int, st Stage) (*stageRecord,
 		}
 		cancel()
 		if err == nil {
-			r.cfg.Events.Span(time.Since(r.start), obs.EvStageEnd, "campaign", string(st))
+			r.cfg.Events.Span(r.clk.Since(r.start), obs.EvStageEnd, "campaign", string(st))
 			r.span.End(obs.SpanOK, "")
 			if attempt > 1 {
 				stSpan.End(obs.SpanRetried, fmt.Sprintf("ok on attempt %d/%d", attempt, maxAttempts))
@@ -314,7 +334,7 @@ func (r *runner) runStage(ctx context.Context, idx int, st Stage) (*stageRecord,
 		if stalled {
 			rec.Stalls++
 			r.cfg.Metrics.Counter("campaign.stage_stalls").Inc()
-			r.cfg.Events.Span(time.Since(r.start), obs.EvStageStall, "campaign",
+			r.cfg.Events.Span(r.clk.Since(r.start), obs.EvStageStall, "campaign",
 				fmt.Sprintf("%s attempt %d", st, attempt))
 			err = fmt.Errorf("campaign: stage %s stalled (no counter progress for %v): %w",
 				st, r.cfg.StallWindow, err)
@@ -333,7 +353,7 @@ func (r *runner) runStage(ctx context.Context, idx int, st Stage) (*stageRecord,
 		case <-ctx.Done():
 			stSpan.End(obs.SpanCancelled, ctx.Err().Error())
 			return nil, ctx.Err()
-		case <-time.After(delay):
+		case <-r.clk.After(delay):
 		}
 	}
 	stSpan.End(obs.SpanFailed, fmt.Sprintf("%d attempt(s) exhausted", maxAttempts))
@@ -379,6 +399,8 @@ func (r *runner) execStage(ctx context.Context, st Stage, rec *stageRecord) erro
 		return r.execAnalyze(ctx, rec)
 	case StageRender:
 		return r.execRender(ctx)
+	case StageVSession:
+		return r.execVSession(rec)
 	default:
 		return fmt.Errorf("campaign: unknown stage %q", st)
 	}
@@ -469,6 +491,32 @@ func (r *runner) analyze(ctx context.Context) (*core.StreamAnalysis, error) {
 			r.capturePostmortem(r.curStage, r.curAttempt, fmt.Sprintf("shard quarantined: %s", f))
 		},
 	})
+}
+
+// execVSession replays the configured virtual session on the sim
+// stack and writes its per-second series to figures/vsession.csv. The
+// series is a pure function of the session config and seed, so a
+// retried or resumed stage reproduces the identical bytes — the digest
+// in the journal line is the proof.
+func (r *runner) execVSession(rec *stageRecord) error {
+	vcfg := *r.cfg.VSession
+	if vcfg.Seed == 0 {
+		vcfg.Seed = r.cfg.effectiveSeed()
+	}
+	res, err := vsession.Run(vcfg)
+	if err != nil {
+		return err
+	}
+	out := filepath.Join(r.result.FiguresDir, "vsession.csv")
+	if err := store.WriteFileAtomicFS(r.cfg.FS, out, func(w io.Writer) error {
+		_, err := io.WriteString(w, res.CSV())
+		return err
+	}); err != nil {
+		return err
+	}
+	rec.VDigest = res.Digest
+	r.cfg.Log.Infof("stage %s: %s", StageVSession, res.Summary())
+	return nil
 }
 
 // execRender writes every figure's data as manifested CSV artifacts.

@@ -5,98 +5,16 @@
 // (internal/tcp, internal/udp, internal/mptcp) run on top of it.
 package emu
 
-import (
-	"container/heap"
-	"fmt"
-	"time"
-)
-
-// event is one scheduled callback.
-type event struct {
-	at  time.Duration
-	seq uint64 // tie-breaker preserving schedule order
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+import "satcell/internal/vclock"
 
 // Engine is a single-threaded discrete-event simulator with a virtual
-// clock. It is not safe for concurrent use; all simulated components
-// run inside its event loop.
+// clock. The event heap itself lives in vclock.Scheduler so the
+// emulator and a vclock.SimClock can share one ordered event loop
+// (vclock.NewSimOn(&eng.Scheduler)). It is not safe for concurrent use
+// on its own; all simulated components run inside its event loop.
 type Engine struct {
-	now     time.Duration
-	events  eventHeap
-	seq     uint64
-	stopped bool
+	vclock.Scheduler
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
-
-// Now returns the current virtual time.
-func (e *Engine) Now() time.Duration { return e.now }
-
-// Schedule runs fn after delay of virtual time. A negative delay panics:
-// the simulation cannot go back in time.
-func (e *Engine) Schedule(delay time.Duration, fn func()) {
-	if delay < 0 {
-		panic(fmt.Sprintf("emu: negative delay %v", delay))
-	}
-	e.ScheduleAt(e.now+delay, fn)
-}
-
-// ScheduleAt runs fn at the given absolute virtual time (>= Now).
-func (e *Engine) ScheduleAt(at time.Duration, fn func()) {
-	if at < e.now {
-		panic(fmt.Sprintf("emu: schedule at %v before now %v", at, e.now))
-	}
-	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
-}
-
-// Run processes events until none remain or Stop is called.
-func (e *Engine) Run() {
-	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		ev.fn()
-	}
-}
-
-// RunUntil processes events with timestamps <= deadline, then advances
-// the clock to the deadline.
-func (e *Engine) RunUntil(deadline time.Duration) {
-	e.stopped = false
-	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
-		ev := heap.Pop(&e.events).(event)
-		e.now = ev.at
-		ev.fn()
-	}
-	if !e.stopped && e.now < deadline {
-		e.now = deadline
-	}
-}
-
-// Stop halts Run/RunUntil after the current event returns.
-func (e *Engine) Stop() { e.stopped = true }
-
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }

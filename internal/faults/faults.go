@@ -98,6 +98,14 @@ func (s *Schedule) DialFailAt(t time.Duration) bool {
 	return activeAt(s.DialFails, t) || activeAt(s.Restarts, t)
 }
 
+// ComponentDownAt reports whether a restart window has the component
+// down at elapsed time t. Virtual sessions use it to approximate a
+// restart as link downtime (a dead relay forwards nothing), since there
+// is no process to kill inside the emulator.
+func (s *Schedule) ComponentDownAt(t time.Duration) bool {
+	return activeAt(s.Restarts, t)
+}
+
 // BlackoutFraction returns the share of the horizon spent in blackout —
 // the scenario's outage density.
 func (s *Schedule) BlackoutFraction() float64 {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"satcell/internal/obs"
+	"satcell/internal/vclock"
 )
 
 // Stats counts what an Injector did to live traffic.
@@ -28,6 +29,7 @@ type Stats struct {
 // sequence.
 type Injector struct {
 	sched Schedule
+	clk   vclock.Clock
 	start time.Time
 
 	mu  sync.Mutex
@@ -41,9 +43,18 @@ type Injector struct {
 
 // NewInjector starts a schedule's wall clock now.
 func NewInjector(s Schedule) *Injector {
+	return NewInjectorClock(s, vclock.Wall)
+}
+
+// NewInjectorClock is NewInjector with an explicit clock, so a virtual
+// run's Elapsed (and therefore every window decision) tracks virtual
+// time.
+func NewInjectorClock(s Schedule, clk vclock.Clock) *Injector {
+	clk = vclock.Or(clk)
 	return &Injector{
 		sched: s,
-		start: time.Now(),
+		clk:   clk,
+		start: clk.Now(),
 		rng:   rand.New(rand.NewSource(s.Seed*0x9E3779B9 + 1)),
 	}
 }
@@ -52,7 +63,7 @@ func NewInjector(s Schedule) *Injector {
 func (in *Injector) Schedule() Schedule { return in.sched }
 
 // Elapsed returns the time since the injector started.
-func (in *Injector) Elapsed() time.Duration { return time.Since(in.start) }
+func (in *Injector) Elapsed() time.Duration { return in.clk.Since(in.start) }
 
 // Stats returns a snapshot of the fault counters.
 func (in *Injector) Stats() Stats {

@@ -3,6 +3,8 @@ package faults
 import (
 	"sync"
 	"time"
+
+	"satcell/internal/vclock"
 )
 
 // Supervisor executes a schedule's restart windows against one
@@ -11,13 +13,16 @@ import (
 // relay or measurement server the way a field deployment loses its
 // gateway and gets it back.
 type Supervisor struct {
+	clk  vclock.Clock
 	stop chan struct{}
 	once sync.Once
 	wg   sync.WaitGroup
 
-	mu     sync.Mutex
-	kills  int
-	resets int
+	mu            sync.Mutex
+	kills         int
+	resets        int
+	timers        []vclock.Timer // event-mode pending kill/restore firings
+	restoreOnStop func()
 }
 
 // Supervise starts executing the windows (sorted by start; overlapping
@@ -27,13 +32,28 @@ type Supervisor struct {
 // goroutine, so they may touch non-thread-safe component state as long
 // as nothing else does.
 func Supervise(windows []Window, kill, restore func()) *Supervisor {
-	s := &Supervisor{stop: make(chan struct{})}
+	return SuperviseClock(windows, kill, restore, vclock.Wall)
+}
+
+// SuperviseClock is Supervise on an explicit clock. On the wall clock
+// it runs the classic supervisor goroutine (prompt Stop via channel
+// select). On a virtual clock that coordinates goroutines (a
+// vclock.SimClock) the kill/restore calls are instead scheduled as
+// AfterFunc events, so they fire at their exact virtual instants on the
+// single-threaded event loop — still serialized, still never leaving
+// the component dead after Stop.
+func SuperviseClock(windows []Window, kill, restore func(), clk vclock.Clock) *Supervisor {
+	s := &Supervisor{clk: vclock.Or(clk), stop: make(chan struct{})}
 	ws := append([]Window(nil), windows...)
 	sortWindows(ws)
+	if _, virtual := s.clk.(interface{ Go(func()) }); virtual {
+		s.superviseEvents(ws, kill, restore)
+		return s
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		begin := time.Now()
+		begin := s.clk.Now()
 		for _, w := range ws {
 			if !s.sleepUntil(begin.Add(w.Start)) {
 				return
@@ -58,17 +78,41 @@ func Supervise(windows []Window, kill, restore func()) *Supervisor {
 	return s
 }
 
+// superviseEvents schedules each window's kill and restore as clock
+// events. The windows arrive sorted, so the event-loop execution order
+// matches the goroutine version for non-overlapping windows.
+func (s *Supervisor) superviseEvents(ws []Window, kill, restore func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range ws {
+		s.timers = append(s.timers,
+			s.clk.AfterFunc(w.Start, func() {
+				kill()
+				s.mu.Lock()
+				s.kills++
+				s.mu.Unlock()
+			}),
+			s.clk.AfterFunc(w.End(), func() {
+				restore()
+				s.mu.Lock()
+				s.resets++
+				s.mu.Unlock()
+			}))
+	}
+	s.restoreOnStop = restore
+}
+
 // sleepUntil waits for the deadline; it reports false when the
 // supervisor was stopped first.
 func (s *Supervisor) sleepUntil(at time.Time) bool {
-	d := time.Until(at)
+	d := at.Sub(s.clk.Now())
 	if d <= 0 {
 		return true
 	}
-	t := time.NewTimer(d)
+	t := s.clk.NewTimer(d)
 	defer t.Stop()
 	select {
-	case <-t.C:
+	case <-t.C():
 		return true
 	case <-s.stop:
 		return false
@@ -86,6 +130,24 @@ func (s *Supervisor) Counts() (kills, restores int) {
 // goroutine to exit. If the component was down mid-window, restore is
 // called before Stop returns, so the component is never left dead.
 func (s *Supervisor) Stop() {
-	s.once.Do(func() { close(s.stop) })
+	s.once.Do(func() {
+		close(s.stop)
+		s.mu.Lock()
+		for _, t := range s.timers {
+			t.Stop()
+		}
+		s.timers = nil
+		// Event mode only: the wall goroutine restores on early stop
+		// itself, so restoreOnStop is nil there.
+		restore := s.restoreOnStop
+		down := restore != nil && s.kills > s.resets
+		if down {
+			s.resets++
+		}
+		s.mu.Unlock()
+		if down {
+			restore()
+		}
+	})
 	s.wg.Wait()
 }

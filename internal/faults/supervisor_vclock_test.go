@@ -1,0 +1,52 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"satcell/internal/vclock"
+)
+
+// Under a SimClock the supervisor schedules kill/restore as events, so
+// every firing lands on its exact virtual instant — no wall tolerance.
+func TestSupervisorVirtualClockExactInstants(t *testing.T) {
+	c := vclock.NewSim()
+	var events []string
+	log := func(tag string) {
+		events = append(events, fmt.Sprintf("%s@%v", tag, c.Elapsed()))
+	}
+	sup := SuperviseClock(
+		[]Window{
+			{Start: 10 * time.Second, Dur: time.Second},
+			{Start: 2 * time.Second, Dur: 3 * time.Second}, // sorted by the supervisor
+		},
+		func() { log("kill") }, func() { log("restore") }, c)
+	c.RunUntil(20 * time.Second)
+	sup.Stop()
+	want := []string{"kill@2s", "restore@5s", "kill@10s", "restore@11s"}
+	if fmt.Sprint(events) != fmt.Sprint(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	if kills, restores := sup.Counts(); kills != 2 || restores != 2 {
+		t.Fatalf("kills/restores = %d/%d", kills, restores)
+	}
+}
+
+func TestSupervisorVirtualClockStopMidWindowRestores(t *testing.T) {
+	c := vclock.NewSim()
+	kills, restores := 0, 0
+	sup := SuperviseClock(
+		[]Window{{Start: time.Second, Dur: time.Hour}},
+		func() { kills++ }, func() { restores++ }, c)
+	c.RunUntil(2 * time.Second) // inside the window: component is down
+	sup.Stop()
+	if kills != 1 || restores != 1 {
+		t.Fatalf("kills/restores = %d/%d, want 1/1 (restored on Stop)", kills, restores)
+	}
+	c.RunUntil(2 * time.Hour) // cancelled restore event must not fire
+	if restores != 1 {
+		t.Fatalf("restore fired after Stop: %d", restores)
+	}
+	sup.Stop() // idempotent
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"satcell/internal/obs"
+	"satcell/internal/vclock"
 )
 
 // ClientConfig describes one test run.
@@ -42,7 +43,16 @@ type ClientConfig struct {
 	// Events, when non-nil, receives session-start/session-end events
 	// for each test run, keyed by elapsed time since Run began.
 	Events *obs.Tracer
+
+	// Clock drives pacing, backoff sleeps, interval bucketing and
+	// timestamps. Nil means the wall clock (identical behavior to before
+	// the seam existed). Socket deadlines are derived from it too, so a
+	// virtual clock only makes sense against virtual transports.
+	Clock vclock.Clock
 }
+
+// clock resolves the configured clock, defaulting to the wall.
+func (c *ClientConfig) clock() vclock.Clock { return vclock.Or(c.Clock) }
 
 func (c *ClientConfig) defaults() {
 	if c.Duration <= 0 {
@@ -74,10 +84,11 @@ func (c *ClientConfig) defaults() {
 // every dial/stream failed outright).
 func Run(ctx context.Context, cfg ClientConfig) (*Result, error) {
 	cfg.defaults()
-	start := time.Now()
+	clk := cfg.clock()
+	start := clk.Now()
 	detail := string(cfg.Proto) + "/" + string(cfg.Dir)
 	cfg.Events.Span(0, obs.EvSessionStart, "iperf", detail)
-	defer func() { cfg.Events.Span(time.Since(start), obs.EvSessionEnd, "iperf", detail) }()
+	defer func() { cfg.Events.Span(clk.Since(start), obs.EvSessionEnd, "iperf", detail) }()
 	switch cfg.Proto {
 	case TCP:
 		return runTCP(ctx, cfg)
@@ -102,12 +113,12 @@ func dialRetry(ctx context.Context, cfg ClientConfig, network string, id int) (n
 			retries.Inc()
 			sleep := time.Duration(float64(backoff) * (0.5 + rng.Float64()))
 			backoff *= 2
-			t := time.NewTimer(sleep)
+			t := cfg.clock().NewTimer(sleep)
 			select {
 			case <-ctx.Done():
 				t.Stop()
 				return nil, ctx.Err()
-			case <-t.C:
+			case <-t.C():
 			}
 		}
 		conn, err := d.DialContext(ctx, network, cfg.Addr)
@@ -126,6 +137,7 @@ func dialRetry(ctx context.Context, cfg ClientConfig, network string, id int) (n
 // into the iperf.interval_mbps histogram.
 type intervalCounter struct {
 	mu       sync.Mutex
+	clk      vclock.Clock
 	start    time.Time
 	interval time.Duration
 	buckets  []int64
@@ -133,9 +145,11 @@ type intervalCounter struct {
 	rate     *obs.Histogram
 }
 
-func newIntervalCounter(interval time.Duration, reg *obs.Registry) *intervalCounter {
+func newIntervalCounter(interval time.Duration, reg *obs.Registry, clk vclock.Clock) *intervalCounter {
+	clk = vclock.Or(clk)
 	return &intervalCounter{
-		start:    time.Now(),
+		clk:      clk,
+		start:    clk.Now(),
 		interval: interval,
 		progress: reg.Counter("iperf.bytes"),
 		rate:     reg.Histogram("iperf.interval_mbps", obs.MbpsBuckets),
@@ -145,7 +159,7 @@ func newIntervalCounter(interval time.Duration, reg *obs.Registry) *intervalCoun
 func (ic *intervalCounter) add(n int64) {
 	ic.progress.Add(n)
 	ic.mu.Lock()
-	idx := int(time.Since(ic.start) / ic.interval)
+	idx := int(ic.clk.Since(ic.start) / ic.interval)
 	for len(ic.buckets) <= idx {
 		ic.buckets = append(ic.buckets, 0)
 	}
@@ -178,7 +192,7 @@ func (ic *intervalCounter) reports() []IntervalReport {
 // every stream fails does the test error.
 func runTCP(ctx context.Context, cfg ClientConfig) (*Result, error) {
 	res := &Result{Proto: TCP, Dir: cfg.Dir, Parallel: cfg.Parallel}
-	ic := newIntervalCounter(cfg.Interval, cfg.Metrics)
+	ic := newIntervalCounter(cfg.Interval, cfg.Metrics, cfg.Clock)
 	type streamOut struct {
 		sr  StreamResult
 		err error
@@ -243,7 +257,8 @@ func runTCPStream(ctx context.Context, cfg ClientConfig, id int, ic *intervalCou
 		return StreamResult{}, err
 	}
 
-	start := time.Now()
+	clk := cfg.clock()
+	start := clk.Now()
 	var bytes int64
 	var elapsed time.Duration
 	switch cfg.Dir {
@@ -254,7 +269,7 @@ func runTCPStream(ctx context.Context, cfg ClientConfig, id int, ic *intervalCou
 			if ctx.Err() != nil {
 				break
 			}
-			conn.SetReadDeadline(minTime(deadline, time.Now().Add(2*time.Second)))
+			conn.SetReadDeadline(minTime(deadline, clk.Now().Add(2*time.Second)))
 			n, err := conn.Read(buf)
 			bytes += int64(n)
 			ic.add(int64(n))
@@ -262,12 +277,12 @@ func runTCPStream(ctx context.Context, cfg ClientConfig, id int, ic *intervalCou
 				break
 			}
 		}
-		elapsed = time.Since(start)
+		elapsed = clk.Since(start)
 	case Upload:
 		buf := make([]byte, 128<<10)
 		deadline := start.Add(cfg.Duration)
-		for time.Now().Before(deadline) && ctx.Err() == nil {
-			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		for clk.Now().Before(deadline) && ctx.Err() == nil {
+			conn.SetWriteDeadline(clk.Now().Add(2 * time.Second))
 			n, err := conn.Write(buf)
 			bytes += int64(n)
 			ic.add(int64(n))
@@ -277,12 +292,12 @@ func runTCPStream(ctx context.Context, cfg ClientConfig, id int, ic *intervalCou
 		}
 		// The transfer window ends here: the summary exchange below can
 		// block for seconds and must not dilute the rate denominator.
-		elapsed = time.Since(start)
+		elapsed = clk.Since(start)
 		// Half-close and read the server's count (authoritative).
 		if tc, ok := conn.(*net.TCPConn); ok {
 			tc.CloseWrite()
 		}
-		conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+		conn.SetReadDeadline(clk.Now().Add(3 * time.Second))
 		line, err := bufio.NewReader(conn).ReadBytes('\n')
 		if err == nil {
 			var sum uploadSummary
@@ -330,7 +345,7 @@ func runUDP(ctx context.Context, cfg ClientConfig) (*Result, error) {
 	}
 	defer conn.Close()
 	testID := rand.Uint32()
-	ic := newIntervalCounter(cfg.Interval, cfg.Metrics)
+	ic := newIntervalCounter(cfg.Interval, cfg.Metrics, cfg.Clock)
 
 	res := &Result{Proto: UDP, Dir: cfg.Dir, Parallel: 1}
 	switch cfg.Dir {
@@ -347,20 +362,21 @@ func runUDP(ctx context.Context, cfg ClientConfig) (*Result, error) {
 }
 
 func runUDPUpload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, testID uint32, ic *intervalCounter, res *Result) error {
+	clk := cfg.clock()
 	buf := make([]byte, udpPayload)
 	interval := time.Duration(float64(udpPayload+28) * 8 / (cfg.RateMbps * 1e6) * float64(time.Second))
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
-	deadline := time.Now().Add(cfg.Duration)
-	next := time.Now()
+	deadline := clk.Now().Add(cfg.Duration)
+	next := clk.Now()
 	var seq uint64
 	writeErrs := 0
 	werrCounter := cfg.Metrics.Counter("iperf.write_errors")
-	for time.Now().Before(deadline) && ctx.Err() == nil {
+	for clk.Now().Before(deadline) && ctx.Err() == nil {
 		marshalHeader(udpHeader{
 			Magic: udpMagic, Type: udpTypeData, TestID: testID,
-			Seq: seq, SentNano: uint64(time.Now().UnixNano()),
+			Seq: seq, SentNano: uint64(clk.Now().UnixNano()),
 		}, buf)
 		seq++
 		if _, err := conn.Write(buf); err != nil {
@@ -374,8 +390,8 @@ func runUDPUpload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, test
 			ic.add(int64(len(buf)))
 		}
 		next = next.Add(interval)
-		if d := time.Until(next); d > 0 {
-			time.Sleep(d)
+		if d := next.Sub(clk.Now()); d > 0 {
+			clk.Sleep(d)
 		}
 	}
 	res.Sent = int64(seq)
@@ -388,7 +404,7 @@ func runUDPUpload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, test
 	wait := 300 * time.Millisecond
 	for attempt := 0; attempt < 6 && ctx.Err() == nil; attempt++ {
 		conn.Write(end) // best effort: unreachable now may recover
-		conn.SetReadDeadline(time.Now().Add(wait))
+		conn.SetReadDeadline(clk.Now().Add(wait))
 		n, err := conn.Read(reply)
 		if err != nil {
 			if wait < 2*time.Second {
@@ -438,11 +454,12 @@ func runUDPDownload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, te
 		lastTx          uint64
 		lastRx          time.Time
 	)
-	start := time.Now()
+	clk := cfg.clock()
+	start := clk.Now()
 	sawEnd := false
 	hardDeadline := start.Add(cfg.Duration + 3*time.Second)
-	for time.Now().Before(hardDeadline) && ctx.Err() == nil {
-		conn.SetReadDeadline(time.Now().Add(time.Second))
+	for clk.Now().Before(hardDeadline) && ctx.Err() == nil {
+		conn.SetReadDeadline(clk.Now().Add(time.Second))
 		n, err := conn.Read(buf)
 		if err != nil {
 			// Timeouts and ICMP-unreachable bursts both land here; in
@@ -461,7 +478,7 @@ func runUDPDownload(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, te
 		if h.Type != udpTypeData {
 			continue
 		}
-		now := time.Now()
+		now := clk.Now()
 		received++
 		bytes += int64(n)
 		ic.add(int64(n))

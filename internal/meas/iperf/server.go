@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"satcell/internal/vclock"
 )
 
 // control is the JSON hello a client sends on each TCP data connection.
@@ -27,6 +29,7 @@ type uploadSummary struct {
 type Server struct {
 	ln  net.Listener
 	udp *net.UDPConn
+	clk vclock.Clock
 
 	mu     sync.Mutex
 	udpRx  map[uint32]*udpRxState
@@ -45,6 +48,13 @@ type udpRxState struct {
 
 // NewServer starts a server on addr (e.g. "127.0.0.1:0").
 func NewServer(addr string) (*Server, error) {
+	return NewServerClock(addr, vclock.Wall)
+}
+
+// NewServerClock is NewServer with an explicit clock for download
+// pacing, duration cutoffs and jitter timestamps.
+func NewServerClock(addr string, clk vclock.Clock) (*Server, error) {
+	clk = vclock.Or(clk)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -58,6 +68,7 @@ func NewServer(addr string) (*Server, error) {
 	s := &Server{
 		ln:     ln,
 		udp:    udp,
+		clk:    clk,
 		udpRx:  make(map[uint32]*udpRxState),
 		closed: make(chan struct{}),
 	}
@@ -121,14 +132,14 @@ func (s *Server) handleTCP(c net.Conn) {
 	case Download:
 		// Source bytes for the requested duration, then close.
 		buf := make([]byte, 128<<10)
-		deadline := time.Now().Add(ctl.Duration)
-		for time.Now().Before(deadline) {
+		deadline := s.clk.Now().Add(ctl.Duration)
+		for s.clk.Now().Before(deadline) {
 			select {
 			case <-s.closed:
 				return
 			default:
 			}
-			c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			c.SetWriteDeadline(s.clk.Now().Add(2 * time.Second))
 			if _, err := c.Write(buf); err != nil {
 				return
 			}
@@ -172,7 +183,7 @@ func (s *Server) onData(h udpHeader, n int, from *net.UDPAddr) {
 		st = &udpRxState{client: from}
 		s.udpRx[h.TestID] = st
 	}
-	now := time.Now()
+	now := s.clk.Now()
 	st.received++
 	st.bytes += int64(n)
 	if !st.lastRx.IsZero() {
@@ -215,10 +226,10 @@ func (s *Server) serveUDPDownload(to *net.UDPAddr, testID uint32, rateMbps float
 		interval = time.Microsecond
 	}
 	buf := make([]byte, udpPayload)
-	deadline := time.Now().Add(dur)
-	next := time.Now()
+	deadline := s.clk.Now().Add(dur)
+	next := s.clk.Now()
 	var seq uint64
-	for time.Now().Before(deadline) {
+	for s.clk.Now().Before(deadline) {
 		select {
 		case <-s.closed:
 			return
@@ -226,15 +237,15 @@ func (s *Server) serveUDPDownload(to *net.UDPAddr, testID uint32, rateMbps float
 		}
 		marshalHeader(udpHeader{
 			Magic: udpMagic, Type: udpTypeData, TestID: testID,
-			Seq: seq, SentNano: uint64(time.Now().UnixNano()),
+			Seq: seq, SentNano: uint64(s.clk.Now().UnixNano()),
 		}, buf)
 		seq++
 		if _, err := s.udp.WriteToUDP(buf, to); err != nil {
 			return
 		}
 		next = next.Add(interval)
-		if d := time.Until(next); d > 0 {
-			time.Sleep(d)
+		if d := next.Sub(s.clk.Now()); d > 0 {
+			s.clk.Sleep(d)
 		}
 	}
 	// End markers so the client can stop promptly.
@@ -242,7 +253,7 @@ func (s *Server) serveUDPDownload(to *net.UDPAddr, testID uint32, rateMbps float
 		end := make([]byte, udpHeaderSize)
 		marshalHeader(udpHeader{Magic: udpMagic, Type: udpTypeEnd, TestID: testID, Seq: seq}, end)
 		s.udp.WriteToUDP(end, to)
-		time.Sleep(10 * time.Millisecond)
+		s.clk.Sleep(10 * time.Millisecond)
 	}
 }
 

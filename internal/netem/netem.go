@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"satcell/internal/channel"
+	"satcell/internal/vclock"
 )
 
 // Shape describes time-varying link conditions. All functions receive
@@ -115,19 +116,29 @@ const maxQueueDelay = 400 * time.Millisecond
 
 // pacer serializes transmissions at the shape's (time-varying) rate and
 // computes each unit's delivery time. It is safe for concurrent use.
+// All time arithmetic goes through its Clock, so the same pacer logic
+// runs on the wall clock (relays, pipes) or a vclock.SimClock (tests,
+// virtual sessions).
 type pacer struct {
 	mu     sync.Mutex
 	shape  Shape
+	clk    vclock.Clock
 	start  time.Time
 	nextTx time.Time
 	rng    *rand.Rand
 }
 
 func newPacer(shape Shape, seed int64) *pacer {
+	return newPacerClock(shape, seed, vclock.Wall)
+}
+
+func newPacerClock(shape Shape, seed int64, clk vclock.Clock) *pacer {
 	shape.defaults()
+	clk = vclock.Or(clk)
 	return &pacer{
 		shape: shape,
-		start: time.Now(),
+		clk:   clk,
+		start: clk.Now(),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
@@ -138,7 +149,7 @@ func newPacer(shape Shape, seed int64) *pacer {
 func (p *pacer) admit(size int) (deliverAt time.Time, drop bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	now := time.Now()
+	now := p.clk.Now()
 	elapsed := now.Sub(p.start)
 	if p.rng.Float64() < p.shape.LossProb(elapsed) {
 		return time.Time{}, true
@@ -165,7 +176,7 @@ func (p *pacer) admit(size int) (deliverAt time.Time, drop bool) {
 func (p *pacer) backlog() time.Duration {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if d := time.Until(p.nextTx); d > 0 {
+	if d := p.nextTx.Sub(p.clk.Now()); d > 0 {
 		return d
 	}
 	return 0
@@ -176,7 +187,7 @@ func (p *pacer) backlog() time.Duration {
 func (p *pacer) admitStream(size int) (deliverAt time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	now := time.Now()
+	now := p.clk.Now()
 	elapsed := now.Sub(p.start)
 	rate := p.shape.RateMbps(elapsed)
 	if rate <= 0.01 {

@@ -1,0 +1,106 @@
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker preserving schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event scheduler with a
+// virtual clock: the event heap that used to live inside emu.Engine,
+// promoted so the emulator and SimClock share one ordered event loop.
+// It is not safe for concurrent use on its own; all scheduled callbacks
+// run inside its event loop. SimClock adds the locking needed for
+// cross-goroutine use.
+type Scheduler struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Schedule runs fn after delay of virtual time. A negative delay
+// panics: the simulation cannot go back in time.
+func (s *Scheduler) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("vclock: negative delay %v", delay))
+	}
+	s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute virtual time (>= Now).
+func (s *Scheduler) ScheduleAt(at time.Duration, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("vclock: schedule at %v before now %v", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+}
+
+// pop removes and returns the earliest event. Callers must know the
+// heap is non-empty.
+func (s *Scheduler) pop() event {
+	return heap.Pop(&s.events).(event)
+}
+
+// Run processes events until none remain or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		ev := s.pop()
+		s.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline, then advances
+// the clock to the deadline.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped && s.events[0].at <= deadline {
+		ev := s.pop()
+		s.now = ev.at
+		ev.fn()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Stop halts Run/RunUntil after the current event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.events) }

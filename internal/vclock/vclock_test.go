@@ -1,0 +1,250 @@
+package vclock
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWallSmoke(t *testing.T) {
+	c := Or(nil)
+	if c != Wall {
+		t.Fatalf("Or(nil) = %v, want Wall", c)
+	}
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(start) <= 0 {
+		t.Fatal("wall clock did not advance across Sleep")
+	}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall timer never fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire reported armed")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall ticker never ticked")
+	}
+}
+
+func TestSchedulerOrderingAndTieBreak(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	s.Schedule(time.Millisecond, func() { got = append(got, 1) })
+	// Same timestamp: schedule order must be preserved via seq.
+	s.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(3*time.Millisecond, func() { got = append(got, 4) })
+	s.Run()
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("Now = %v, want 3ms", s.Now())
+	}
+}
+
+func TestSchedulerNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for negative delay")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "negative delay") {
+			t.Fatalf("panic = %v, want message about negative delay", r)
+		}
+	}()
+	NewScheduler().Schedule(-time.Second, func() {})
+}
+
+func TestSimClockSleepAndNow(t *testing.T) {
+	c := NewSim()
+	start := c.Now()
+	done := make(chan time.Duration, 1)
+	c.Go(func() {
+		c.Sleep(90 * time.Second)
+		done <- c.Since(start)
+	})
+	c.Run()
+	if got := <-done; got != 90*time.Second {
+		t.Fatalf("virtual sleep elapsed %v, want exactly 90s", got)
+	}
+	if c.Elapsed() != 90*time.Second {
+		t.Fatalf("Elapsed = %v, want 90s", c.Elapsed())
+	}
+}
+
+func TestSimClockTimerStopAndReset(t *testing.T) {
+	c := NewSim()
+	var fired atomic.Int32
+	tm := c.AfterFunc(time.Second, func() { fired.Add(1) })
+	if !tm.Stop() {
+		t.Fatal("Stop on armed timer reported not armed")
+	}
+	c.Advance(2 * time.Second)
+	if fired.Load() != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Reset(time.Second) {
+		t.Fatal("Reset on stopped timer reported armed")
+	}
+	c.Advance(2 * time.Second)
+	if fired.Load() != 1 {
+		t.Fatalf("reset timer fired %d times, want 1", fired.Load())
+	}
+}
+
+func TestSimClockTimerChannelStampsVirtualTime(t *testing.T) {
+	c := NewSim()
+	tm := c.NewTimer(5 * time.Second)
+	c.Advance(10 * time.Second)
+	select {
+	case at := <-tm.C():
+		if got := at.Sub(simEpoch); got != 5*time.Second {
+			t.Fatalf("timer stamped +%v, want +5s", got)
+		}
+	default:
+		t.Fatal("timer channel empty after Advance past deadline")
+	}
+}
+
+// A worker must never block bare on a ticker/timer channel (the quiesce
+// accounting only sees Sleep), but Sleep-then-drain composes fine: the
+// tick event at T sorts before the sleep wake-up at T (earlier seq), so
+// the channel is always full when the worker resumes.
+func TestSimClockTickerDrainAfterSleep(t *testing.T) {
+	c := NewSim()
+	tk := c.NewTicker(time.Second)
+	var ticks []time.Duration
+	c.Go(func() {
+		for i := 0; i < 3; i++ {
+			c.Sleep(time.Second)
+			at := <-tk.C()
+			ticks = append(ticks, at.Sub(simEpoch))
+		}
+		tk.Stop()
+	})
+	c.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3", len(ticks))
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if ticks[i] != want {
+			t.Fatalf("tick %d at +%v, want +%v", i, ticks[i], want)
+		}
+	}
+}
+
+// Event-mode ticker: a scheduled callback polls the channel without
+// blocking, so no worker accounting is involved at all.
+func TestSimClockTickerEventMode(t *testing.T) {
+	c := NewSim()
+	tk := c.NewTicker(time.Second)
+	var seen []time.Duration
+	var poll func()
+	poll = func() {
+		select {
+		case at := <-tk.C():
+			seen = append(seen, at.Sub(simEpoch))
+		default:
+		}
+		if c.Elapsed() < 5*time.Second {
+			c.AfterFunc(500*time.Millisecond, poll)
+		}
+	}
+	c.AfterFunc(500*time.Millisecond, poll)
+	c.RunUntil(6 * time.Second)
+	tk.Stop()
+	if len(seen) < 4 {
+		t.Fatalf("polled %d ticks, want >= 4 (got %v)", len(seen), seen)
+	}
+}
+
+func TestSimClockWorkersInterleaveDeterministically(t *testing.T) {
+	// Two workers sleeping different intervals plus scheduled events:
+	// the merged order must be identical across runs.
+	run := func() string {
+		c := NewSim()
+		var mu strings.Builder
+		appendLog := func(tag string) {
+			// All appends happen either on the loop goroutine or on a
+			// worker that is the only runnable goroutine, so no lock is
+			// needed; the order is what we assert on.
+			mu.WriteString(tag)
+			mu.WriteString(";")
+		}
+		c.Go(func() {
+			for i := 0; i < 3; i++ {
+				c.Sleep(2 * time.Second)
+				appendLog("a" + c.Elapsed().String())
+			}
+		})
+		c.Go(func() {
+			for i := 0; i < 2; i++ {
+				c.Sleep(3 * time.Second)
+				appendLog("b" + c.Elapsed().String())
+			}
+		})
+		c.AfterFunc(5*time.Second, func() { appendLog("ev" + c.Elapsed().String()) })
+		c.Run()
+		return mu.String()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d order %q != first %q", i, got, first)
+		}
+	}
+	if !strings.Contains(first, "ev5s") {
+		t.Fatalf("event missing from log %q", first)
+	}
+}
+
+func TestSimClockStopUnblocksRun(t *testing.T) {
+	c := NewSim()
+	c.AfterFunc(time.Second, func() { c.Stop() })
+	c.AfterFunc(time.Hour, func() { t.Error("event after Stop ran") })
+	c.Run()
+	if c.Elapsed() != time.Second {
+		t.Fatalf("Elapsed = %v, want 1s (stopped)", c.Elapsed())
+	}
+	if c.Scheduler().Pending() != 1 {
+		t.Fatalf("Pending = %d, want the 1h event still queued", c.Scheduler().Pending())
+	}
+}
+
+func TestSimClockSharesEngineScheduler(t *testing.T) {
+	s := NewScheduler()
+	c := NewSimOn(s)
+	var order []string
+	s.Schedule(2*time.Second, func() { order = append(order, "sched") })
+	c.AfterFunc(time.Second, func() { order = append(order, "clock") })
+	c.Run()
+	if len(order) != 2 || order[0] != "clock" || order[1] != "sched" {
+		t.Fatalf("order = %v, want [clock sched]", order)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("shared scheduler now = %v, want 2s", s.Now())
+	}
+}
+
+func TestGoOnFallsBackToPlainGoroutine(t *testing.T) {
+	done := make(chan struct{})
+	GoOn(Wall, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("GoOn(Wall) goroutine never ran")
+	}
+}

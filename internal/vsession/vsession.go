@@ -1,0 +1,321 @@
+// Package vsession runs a complete measurement session — shaped paths,
+// fault windows, a bulk download and an RTT prober — entirely in
+// virtual time on the discrete-event emulator, as fast as the CPU can
+// drain the event heap. It is the -vtime driver behind mpshell and the
+// campaign's vsession stage.
+//
+// Fidelity caveat: a virtual session replays the *model* stack (emu
+// links + simulated TCP/MPTCP/UDP), not the live relay stack. Real
+// sockets carry wall-clock deadlines inside the kernel, so they cannot
+// be driven by a vclock.SimClock; what virtual mode buys instead is a
+// bit-exact, repeatable session — the same seed always yields the same
+// per-second series, byte for byte — which is exactly what the live
+// path can never promise (Hypatia makes the same trade for LEO
+// constellation studies). Fault windows map onto the channel: a
+// blackout or component-restart window forces the path into outage
+// (zero rate), approximating the relay's fault gate.
+package vsession
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"satcell/internal/channel"
+	"satcell/internal/emu"
+	"satcell/internal/faults"
+	"satcell/internal/mptcp"
+	"satcell/internal/netem"
+	"satcell/internal/tcp"
+	"satcell/internal/udp"
+)
+
+// traceStep is the sampling granularity when freezing a netem.Shape
+// (plus its fault schedule) into a channel trace for the emulator.
+// Fault-window edges land on this grid.
+const traceStep = 100 * time.Millisecond
+
+// Flow numbering inside the session's muxes: data subflows start at
+// flowData (one per path, flowData+i), the prober uses flowPing on the
+// primary path.
+const (
+	flowData = 1
+	flowPing = 100
+)
+
+// PathSpec declares one emulated path of the session.
+type PathSpec struct {
+	// Name labels the path in summaries ("starlink", "cell", ...).
+	Name string
+	// Down and Up shape the two directions (netem semantics: nil
+	// functions default to 100 Mbps / no delay / no loss).
+	Down, Up netem.Shape
+	// Faults, when non-nil, forces the path into outage during every
+	// blackout and component-restart window.
+	Faults *faults.Schedule
+	// QueueBytes is the droptail buffer per direction (0 = emu default).
+	QueueBytes int
+}
+
+// Config parameterises one virtual session.
+type Config struct {
+	// Paths is the emulated path set: one entry runs a plain TCP
+	// download, two or more run an MPTCP connection with one subflow
+	// per path. At least one path is required.
+	Paths []PathSpec
+	// Duration is the virtual session length (default 30s, rounded up
+	// to a whole second so the per-second series is complete).
+	Duration time.Duration
+	// Seed drives every stochastic choice (loss gates); same seed,
+	// same series.
+	Seed int64
+	// PingInterval spaces the UDP RTT probes (default 200ms).
+	PingInterval time.Duration
+	// RcvBuf is the transport receive buffer (0 = transport default).
+	RcvBuf int
+	// Coupled enables LIA coupled congestion control across MPTCP
+	// subflows (ignored for single-path sessions).
+	Coupled bool
+}
+
+func (c *Config) defaults() {
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	if r := c.Duration % time.Second; r != 0 {
+		c.Duration += time.Second - r
+	}
+	if c.PingInterval <= 0 {
+		c.PingInterval = 200 * time.Millisecond
+	}
+}
+
+// Second is one row of the per-second series.
+type Second struct {
+	// T is the second index, 1-based: row T covers (T-1)s .. Ts.
+	T int
+	// Mbps is the goodput delivered during the second.
+	Mbps float64
+	// RTTms is the mean RTT of probes answered during the second, or
+	// -1 when no probe came back.
+	RTTms float64
+	// Probes and Lost count RTT probes sent during the second and how
+	// many of the probes sent so far are still unanswered.
+	Probes, Lost int64
+	// DownFrac is the fraction of the second the paths spent in a
+	// fault window, averaged across paths.
+	DownFrac float64
+}
+
+// Result is the outcome of one virtual session.
+type Result struct {
+	// Seconds is the per-second series, rows 1..Duration.
+	Seconds []Second
+	// Bytes is the total goodput delivered.
+	Bytes int64
+	// MeanMbps is the session-mean goodput.
+	MeanMbps float64
+	// MeanRTTms is the mean over all answered probes (-1 if none).
+	MeanRTTms float64
+	// Probes and Lost total the prober's counters.
+	Probes, Lost int64
+	// Duration is the virtual session length.
+	Duration time.Duration
+	// Digest is the sha256 of CSV(): two runs replayed the same
+	// session iff their digests match.
+	Digest string
+}
+
+// CSV renders the per-second series deterministically; the digest is
+// computed over exactly these bytes.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("t,mbps,rtt_ms,probes,lost,down_frac\n")
+	for _, s := range r.Seconds {
+		fmt.Fprintf(&b, "%d,%.4f,%.2f,%d,%d,%.3f\n",
+			s.T, s.Mbps, s.RTTms, s.Probes, s.Lost, s.DownFrac)
+	}
+	return b.String()
+}
+
+// Summary renders a one-line human summary.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%ds virtual: %.2f Mbps mean, rtt %.1f ms, %d/%d probes lost, digest %s",
+		int(r.Duration/time.Second), r.MeanMbps, r.MeanRTTms, r.Lost, r.Probes, r.Digest[:12])
+}
+
+// downAt reports whether the path's fault schedule has it down at t.
+func (p *PathSpec) downAt(t time.Duration) bool {
+	return p.Faults != nil && (p.Faults.BlackoutAt(t) || p.Faults.ComponentDownAt(t))
+}
+
+// Shape accessors mirroring netem's unexported defaults, so a partially
+// specified Shape means the same thing here and in the live relays.
+func rateAt(s netem.Shape, t time.Duration) float64 {
+	if s.RateMbps == nil {
+		return 100
+	}
+	return s.RateMbps(t)
+}
+
+func delayAt(s netem.Shape, t time.Duration) time.Duration {
+	if s.Delay == nil {
+		return 0
+	}
+	return s.Delay(t)
+}
+
+func lossAt(s netem.Shape, t time.Duration) float64 {
+	if s.LossProb == nil {
+		return 0
+	}
+	return s.LossProb(t)
+}
+
+// buildTrace freezes a PathSpec into a channel trace on the traceStep
+// grid: the emulator replays traces, so the shape functions (and the
+// fault mask) are sampled once up front. Sampling is what makes the
+// session hermetic — every stochastic input is fixed before the first
+// event fires.
+func buildTrace(spec PathSpec, duration time.Duration) *channel.Trace {
+	tr := &channel.Trace{Network: channel.NetworkID("vsession:" + spec.Name)}
+	for t := time.Duration(0); t <= duration; t += traceStep {
+		s := channel.Sample{
+			At:       t,
+			DownMbps: rateAt(spec.Down, t),
+			UpMbps:   rateAt(spec.Up, t),
+			RTT:      delayAt(spec.Down, t) + delayAt(spec.Up, t),
+			LossDown: lossAt(spec.Down, t),
+			LossUp:   lossAt(spec.Up, t),
+		}
+		if spec.downAt(t) {
+			s.DownMbps, s.UpMbps = 0, 0
+			s.LossDown, s.LossUp = 1, 1
+			s.Outage = true
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+	return tr
+}
+
+// downFrac returns the fraction of [from, to) the spec spends in a
+// fault window, on the trace grid.
+func downFrac(specs []PathSpec, from, to time.Duration) float64 {
+	if len(specs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, spec := range specs {
+		var down, total int
+		for t := from; t < to; t += traceStep {
+			total++
+			if spec.downAt(t) {
+				down++
+			}
+		}
+		if total > 0 {
+			sum += float64(down) / float64(total)
+		}
+	}
+	return sum / float64(len(specs))
+}
+
+// transport abstracts the single-path and multipath downloads.
+type transport interface {
+	Start()
+	Stop()
+	BytesDelivered() int64
+}
+
+type tcpTransport struct{ c *tcp.Conn }
+
+func (t tcpTransport) Start()                { t.c.Start() }
+func (t tcpTransport) Stop()                 { t.c.Stop() }
+func (t tcpTransport) BytesDelivered() int64 { return t.c.Stats().BytesDelivered }
+
+// Run executes the session and returns its per-second series. The only
+// wall time spent is the CPU time to drain the event heap.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Paths) == 0 {
+		return nil, fmt.Errorf("vsession: at least one path required")
+	}
+	cfg.defaults()
+
+	eng := emu.NewEngine()
+	dps := make([]*emu.DuplexPath, len(cfg.Paths))
+	for i, spec := range cfg.Paths {
+		tr := buildTrace(spec, cfg.Duration)
+		dps[i] = emu.NewDuplexPath(eng, tr, emu.PathConfig{
+			QueueBytes: spec.QueueBytes,
+			Seed:       cfg.Seed + int64(i)*101,
+		})
+	}
+
+	var conn transport
+	if len(dps) == 1 {
+		conn = tcpTransport{tcp.NewDownload(eng, dps[0], flowData, tcp.Config{RcvBuf: cfg.RcvBuf})}
+	} else {
+		conn = mptcp.NewConn(eng, dps, flowData, mptcp.Config{
+			RcvBuf:  cfg.RcvBuf,
+			Coupled: cfg.Coupled,
+		})
+	}
+	pinger := udp.NewPinger(eng, dps[0], flowPing, cfg.PingInterval)
+
+	res := &Result{Duration: cfg.Duration}
+	seconds := int(cfg.Duration / time.Second)
+	res.Seconds = make([]Second, 0, seconds)
+
+	var prevBytes int64
+	var prevSent, prevRTTs int
+	for s := 1; s <= seconds; s++ {
+		sec := s
+		eng.Schedule(time.Duration(sec)*time.Second, func() {
+			bytes := conn.BytesDelivered()
+			st := pinger.Stats()
+			row := Second{
+				T:        sec,
+				Mbps:     float64(bytes-prevBytes) * 8 / 1e6,
+				RTTms:    -1,
+				Probes:   st.Sent - int64(prevSent),
+				Lost:     st.Sent - st.Received,
+				DownFrac: downFrac(cfg.Paths, time.Duration(sec-1)*time.Second, time.Duration(sec)*time.Second),
+			}
+			if fresh := st.RTTs[prevRTTs:]; len(fresh) > 0 {
+				var sum time.Duration
+				for _, rtt := range fresh {
+					sum += rtt
+				}
+				row.RTTms = float64(sum) / float64(len(fresh)) / float64(time.Millisecond)
+			}
+			prevBytes = bytes
+			prevSent = int(st.Sent)
+			prevRTTs = len(st.RTTs)
+			res.Seconds = append(res.Seconds, row)
+		})
+	}
+
+	conn.Start()
+	pinger.Start()
+	eng.RunUntil(cfg.Duration)
+	pinger.Stop()
+	conn.Stop()
+
+	res.Bytes = conn.BytesDelivered()
+	res.MeanMbps = float64(res.Bytes) * 8 / 1e6 / cfg.Duration.Seconds()
+	st := pinger.Stats()
+	res.Probes, res.Lost = st.Sent, st.Sent-st.Received
+	res.MeanRTTms = -1
+	if len(st.RTTs) > 0 {
+		var sum time.Duration
+		for _, rtt := range st.RTTs {
+			sum += rtt
+		}
+		res.MeanRTTms = float64(sum) / float64(len(st.RTTs)) / float64(time.Millisecond)
+	}
+	h := sha256.Sum256([]byte(res.CSV()))
+	res.Digest = hex.EncodeToString(h[:])
+	return res, nil
+}
